@@ -1,0 +1,344 @@
+// Benchmarks regenerating the paper's evaluation figures (§3.2) plus
+// micro-benchmarks of the substrates and the ablation studies called out in
+// DESIGN.md. Each figure benchmark runs the corresponding DTXTester workload
+// once per iteration and reports the quantities the paper plots as custom
+// metrics: resp_ms (mean transaction response time), deadlocks (transactions
+// aborted as deadlock victims) and tx_s (throughput).
+//
+// The full sweep behind each figure — every x-axis value, rendered as the
+// paper's series — is produced by cmd/dtxbench; the benchmarks here cover
+// the characteristic points of each figure so `go test -bench .` exercises
+// every experiment.
+package dtx
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dataguide"
+	"repro/internal/harness"
+	"repro/internal/lock"
+	"repro/internal/replica"
+	"repro/internal/txn"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xupdate"
+)
+
+// benchParams are the scaled-down workload dimensions used by the figure
+// benchmarks: small enough for `go test -bench .` to sweep everything,
+// contended enough to exercise waits and deadlock handling.
+func benchParams(proto string) harness.Params {
+	return harness.Params{
+		Sites:       4,
+		Clients:     6,
+		TxPerClient: 3,
+		OpsPerTx:    4,
+		UpdateTxPct: 20,
+		UpdateOpPct: 20,
+		BaseBytes:   48 << 10,
+		Partial:     true,
+		Protocol:    proto,
+		Latency:     100 * time.Microsecond,
+		OpDelay:     500 * time.Microsecond,
+	}
+}
+
+func runWorkload(b *testing.B, p harness.Params) {
+	b.Helper()
+	var resp, dl, tps float64
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i)*7919 + 1
+		res, err := harness.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp += res.MeanRespMs
+		dl += float64(res.Deadlocks)
+		tps += res.ThroughputTPS
+	}
+	n := float64(b.N)
+	b.ReportMetric(resp/n, "resp_ms")
+	b.ReportMetric(dl/n, "deadlocks")
+	b.ReportMetric(tps/n, "tx/s")
+}
+
+// BenchmarkFig09Clients — Fig. 9: response time vs number of clients for
+// read-only transactions, under total and partial replication, XDGL vs
+// Node2PL.
+func BenchmarkFig09Clients(b *testing.B) {
+	for _, partial := range []bool{false, true} {
+		mode := "total"
+		if partial {
+			mode = "partial"
+		}
+		for _, proto := range []string{"xdgl", "node2pl"} {
+			for _, clients := range []int{4, 10} {
+				name := fmt.Sprintf("%s/%s/clients=%d", mode, proto, clients)
+				b.Run(name, func(b *testing.B) {
+					p := benchParams(proto)
+					p.Partial = partial
+					p.Clients = clients
+					p.UpdateTxPct = 0 // Fig. 9 uses reading transactions
+					runWorkload(b, p)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig10UpdatePct — Fig. 10: response time and deadlocks vs the
+// percentage of update transactions.
+func BenchmarkFig10UpdatePct(b *testing.B) {
+	for _, proto := range []string{"xdgl", "node2pl"} {
+		for _, upd := range []int{20, 60} {
+			b.Run(fmt.Sprintf("%s/upd=%d", proto, upd), func(b *testing.B) {
+				p := benchParams(proto)
+				p.Clients = 10
+				p.UpdateTxPct = upd
+				runWorkload(b, p)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11aBaseSize — Fig. 11a: response time and deadlocks vs the
+// size of the base.
+func BenchmarkFig11aBaseSize(b *testing.B) {
+	for _, proto := range []string{"xdgl", "node2pl"} {
+		for _, mult := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/base=%dx", proto, mult), func(b *testing.B) {
+				p := benchParams(proto)
+				p.BaseBytes *= mult
+				runWorkload(b, p)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11bSites — Fig. 11b: response time and deadlocks vs the
+// number of sites.
+func BenchmarkFig11bSites(b *testing.B) {
+	for _, proto := range []string{"xdgl", "node2pl"} {
+		for _, sites := range []int{2, 8} {
+			b.Run(fmt.Sprintf("%s/sites=%d", proto, sites), func(b *testing.B) {
+				p := benchParams(proto)
+				p.Sites = sites
+				runWorkload(b, p)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12Throughput — Fig. 12: committed transactions over time
+// (throughput / concurrency degree) for the two protocols on the fixed
+// 4-site partial deployment.
+func BenchmarkFig12Throughput(b *testing.B) {
+	for _, proto := range []string{"xdgl", "node2pl"} {
+		b.Run(proto, func(b *testing.B) {
+			p := benchParams(proto)
+			p.Clients = 10
+			p.TxPerClient = 5
+			runWorkload(b, p)
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationProtocol compares all three protocols, adding the
+// whole-document lock the paper discusses as the traditional baseline.
+func BenchmarkAblationProtocol(b *testing.B) {
+	for _, proto := range []string{"xdgl", "xdgl-noguard", "node2pl", "doclock"} {
+		b.Run(proto, func(b *testing.B) {
+			p := benchParams(proto)
+			p.UpdateTxPct = 40
+			runWorkload(b, p)
+		})
+	}
+}
+
+// BenchmarkAblationDeadlockPeriod varies the period of the distributed
+// deadlock detector: short periods find cycles quickly but cost messages.
+func BenchmarkAblationDeadlockPeriod(b *testing.B) {
+	for _, period := range []time.Duration{2 * time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond} {
+		b.Run(period.String(), func(b *testing.B) {
+			p := benchParams("xdgl")
+			p.UpdateTxPct = 40
+			p.DeadlockInterval = period
+			runWorkload(b, p)
+		})
+	}
+}
+
+// BenchmarkAblationVictim compares the paper's newest-in-cycle victim rule
+// against oldest-in-cycle.
+func BenchmarkAblationVictim(b *testing.B) {
+	for _, oldest := range []bool{false, true} {
+		name := "newest"
+		if oldest {
+			name = "oldest"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := benchParams("xdgl")
+			p.UpdateTxPct = 40
+			p.VictimOldest = oldest
+			runWorkload(b, p)
+		})
+	}
+}
+
+// BenchmarkAblationLatency varies the synthetic network latency,
+// quantifying the communication/synchronisation overhead argument of Fig. 9
+// (and the WAN direction of the paper's future work).
+func BenchmarkAblationLatency(b *testing.B) {
+	for _, lat := range []time.Duration{0, 200 * time.Microsecond, 2 * time.Millisecond} {
+		b.Run(lat.String(), func(b *testing.B) {
+			p := benchParams("xdgl")
+			p.Latency = lat
+			runWorkload(b, p)
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func benchDoc(b *testing.B, bytes int) *xmltree.Document {
+	b.Helper()
+	return xmark.Gen(xmark.Config{TargetBytes: bytes, Seed: 1})
+}
+
+func BenchmarkDataGuideBuild(b *testing.B) {
+	doc := benchDoc(b, 256<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dataguide.Build(doc)
+	}
+}
+
+func BenchmarkXPathEvalChildAxis(b *testing.B) {
+	doc := benchDoc(b, 256<<10)
+	q := xpath.MustParse("/site/people/person/name")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xpath.Eval(q, doc)
+	}
+}
+
+func BenchmarkXPathEvalDescendantPredicate(b *testing.B) {
+	doc := benchDoc(b, 256<<10)
+	q := xpath.MustParse("//person[id='7']/emailaddress")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xpath.Eval(q, doc)
+	}
+}
+
+// BenchmarkLockFootprint contrasts the per-operation lock work of the two
+// protocols on the same scan — the mechanism behind the paper's overhead
+// results: XDGL's lock count is bounded by the DataGuide, Node2PL's grows
+// with the result set.
+func BenchmarkLockFootprint(b *testing.B) {
+	doc := benchDoc(b, 256<<10)
+	g := dataguide.Build(doc)
+	q := xpath.MustParse("/site/people/person/name")
+	for _, tc := range []struct {
+		name  string
+		proto lock.Protocol
+	}{{"xdgl", lock.XDGL{}}, {"node2pl", lock.Node2PL{}}} {
+		b.Run(tc.name, func(b *testing.B) {
+			tbl := lock.NewTable(g)
+			owner := lock.Owner{Txn: txn.ID{Site: 1, Seq: 1}, TS: 1}
+			for i := 0; i < b.N; i++ {
+				reqs, err := tc.proto.QueryRequests(doc, g, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c := tbl.Acquire(owner, reqs); c != nil {
+					b.Fatal("unexpected conflict")
+				}
+				tbl.ReleaseAll(owner.Txn)
+			}
+		})
+	}
+}
+
+func BenchmarkUpdateApplyUndo(b *testing.B) {
+	doc := benchDoc(b, 64<<10)
+	g := dataguide.Build(doc)
+	u := &xupdate.Update{Kind: xupdate.Insert, Target: "/site/people", Pos: xmltree.Into,
+		New: &xupdate.NodeSpec{Name: "person", Children: []*xupdate.NodeSpec{
+			{Name: "id", Text: "bench"}, {Name: "name", Text: "Bench"},
+		}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, _, err := xupdate.Apply(u, doc, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := rec.Undo(doc, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFragmentDocument(b *testing.B) {
+	doc := benchDoc(b, 256<<10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := replica.FragmentDocument(doc, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSingleSiteTxn(b *testing.B) {
+	cluster, err := New(Config{Sites: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	doc := benchDoc(b, 64<<10)
+	if err := cluster.LoadXML("x", doc.String()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Submit(0,
+			Query("x", "/site/people/person[1]/name"),
+			Change("x", "/site/open_auctions/open_auction[1]/current", "42.00"),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Committed {
+			b.Fatal("txn did not commit")
+		}
+	}
+}
+
+func BenchmarkDistributedTxn(b *testing.B) {
+	cluster, err := New(Config{Sites: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cluster.Close()
+	doc := benchDoc(b, 64<<10)
+	if err := cluster.LoadXML("x", doc.String()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Submit(0,
+			Change("x", "/site/open_auctions/open_auction[1]/current", "42.00"),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Committed {
+			b.Fatal("txn did not commit")
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Command dtxbench regenerates the result figures of the paper's evaluation
+// (§3.2): Fig. 9 (clients sweep, total & partial replication), Fig. 10
+// (update-percentage sweep), Fig. 11a (base-size sweep), Fig. 11b (site
+// sweep) and Fig. 12 (throughput / concurrency degree), each comparing DTX
+// under XDGL against DTX refitted with tree locks (Node2PL).
+//
+// Examples:
+//
+//	dtxbench -exp all                 # quick scale, every figure
+//	dtxbench -exp fig10 -scale paper  # paper-sized client counts
+//	dtxbench -exp fig12 -base 262144 -latency 1ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig8 | fig9 | fig10 | fig11a | fig11b | fig12 | all")
+	scaleName := flag.String("scale", "quick", "preset: quick | paper")
+	base := flag.Int("base", 0, "override base document size in bytes")
+	clientDiv := flag.Int("clientdiv", 0, "override client-count divisor")
+	latency := flag.Duration("latency", -1, "override one-way network latency")
+	opDelay := flag.Duration("opdelay", -1, "override client think time")
+	seed := flag.Int64("seed", 0, "override workload seed")
+	flag.Parse()
+
+	var sc harness.Scale
+	switch *scaleName {
+	case "quick":
+		sc = harness.DefaultScale()
+	case "paper":
+		sc = harness.PaperScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+	if *base > 0 {
+		sc.BaseBytes = *base
+	}
+	if *clientDiv > 0 {
+		sc.ClientDiv = *clientDiv
+	}
+	if *latency >= 0 {
+		sc.Latency = *latency
+	}
+	if *opDelay >= 0 {
+		sc.OpDelay = *opDelay
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	if *exp == "fig8" || *exp == "all" {
+		table, err := harness.Fig8(sc.BaseBytes, sc.Seed, []int{2, 4, 8})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(table)
+		if *exp == "fig8" {
+			return
+		}
+	}
+
+	runners := map[string]func(harness.Scale) ([]harness.Figure, error){
+		"fig9":   harness.Fig9,
+		"fig10":  harness.Fig10,
+		"fig11a": harness.Fig11a,
+		"fig11b": harness.Fig11b,
+		"fig12":  harness.Fig12,
+	}
+
+	var names []string
+	if *exp == "all" {
+		names = []string{"fig9", "fig10", "fig11a", "fig11b", "fig12"}
+	} else if _, ok := runners[*exp]; ok {
+		names = []string{*exp}
+	} else {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+
+	fmt.Printf("dtxbench: scale=%s base=%dKB clientdiv=%d latency=%v seed=%d\n\n",
+		*scaleName, sc.BaseBytes>>10, sc.ClientDiv, sc.Latency, sc.Seed)
+	for _, name := range names {
+		start := time.Now()
+		figs, err := runners[name](sc)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		for _, fig := range figs {
+			fmt.Println(harness.Format(fig))
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtxbench:", err)
+	os.Exit(1)
+}

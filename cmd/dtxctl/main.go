@@ -1,0 +1,171 @@
+// Command dtxctl submits transactions to a running dtxd site over TCP.
+//
+// One operation per argument group; all operations of one invocation form
+// one transaction:
+//
+//	dtxctl -addr localhost:7070 \
+//	    -op "query d1 //person[id='4']/name" \
+//	    -op "insert d2 /products into <product><id>13</id><price>10.30</price></product>" \
+//	    -op "change d2 //product[id='14']/price 9.90" \
+//	    -op "remove d1 //person[id='9']" \
+//	    -op "rename d1 //person[id='4']/name label" \
+//	    -op "transpose d2 //product[1] //product[2]"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/xmltree"
+	"repro/internal/xupdate"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ";") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:7070", "dtxd site address")
+	var opSpecs stringList
+	flag.Var(&opSpecs, "op", "operation (repeatable): query|insert|remove|rename|change|transpose ...")
+	flag.Parse()
+
+	if len(opSpecs) == 0 {
+		fatal(fmt.Errorf("no operations; use -op (see -h)"))
+	}
+	var ops []txn.Operation
+	for _, spec := range opSpecs {
+		op, err := parseOp(spec)
+		if err != nil {
+			fatal(err)
+		}
+		ops = append(ops, op)
+	}
+
+	// A client endpoint is a TCP node with an ephemeral port and a site ID
+	// outside the cluster's range.
+	node, err := transport.ListenTCP(1<<20, "127.0.0.1:0",
+		transport.HandlerFunc(func(from int, msg any) (any, error) {
+			return transport.Ack{OK: true}, nil
+		}))
+	if err != nil {
+		fatal(err)
+	}
+	defer node.Close()
+	node.SetPeer(0, *addr)
+
+	resp, err := node.Send(0, transport.SubmitReq{Ops: ops})
+	if err != nil {
+		fatal(err)
+	}
+	sub, ok := resp.(transport.SubmitResp)
+	if !ok {
+		fatal(fmt.Errorf("unexpected response %T", resp))
+	}
+	fmt.Printf("transaction %s: %s\n", sub.Txn, sub.State)
+	if sub.Error != "" {
+		fmt.Printf("reason: %s\n", sub.Error)
+	}
+	for i, rs := range sub.Results {
+		if rs == nil {
+			continue
+		}
+		fmt.Printf("op %d results (%d):\n", i, len(rs))
+		for _, r := range rs {
+			fmt.Printf("  %s\n", r)
+		}
+	}
+	if sub.State != "committed" {
+		os.Exit(2)
+	}
+}
+
+// parseOp turns "kind doc args..." into an operation.
+func parseOp(spec string) (txn.Operation, error) {
+	fields := strings.Fields(spec)
+	if len(fields) < 3 {
+		return txn.Operation{}, fmt.Errorf("dtxctl: op %q too short", spec)
+	}
+	kind, doc := fields[0], fields[1]
+	rest := fields[2:]
+	switch kind {
+	case "query":
+		return txn.NewQuery(doc, rest[0]), nil
+	case "insert":
+		if len(rest) < 3 {
+			return txn.Operation{}, fmt.Errorf("dtxctl: insert needs <target> <into|before|after> <xml>")
+		}
+		var pos xmltree.Pos
+		switch rest[1] {
+		case "into":
+			pos = xmltree.Into
+		case "before":
+			pos = xmltree.Before
+		case "after":
+			pos = xmltree.After
+		default:
+			return txn.Operation{}, fmt.Errorf("dtxctl: bad position %q", rest[1])
+		}
+		spec, err := parseSpec(strings.Join(rest[2:], " "))
+		if err != nil {
+			return txn.Operation{}, err
+		}
+		return txn.NewUpdate(doc, &xupdate.Update{
+			Kind: xupdate.Insert, Target: rest[0], Pos: pos, New: spec,
+		}), nil
+	case "remove":
+		return txn.NewUpdate(doc, &xupdate.Update{Kind: xupdate.Remove, Target: rest[0]}), nil
+	case "rename":
+		if len(rest) < 2 {
+			return txn.Operation{}, fmt.Errorf("dtxctl: rename needs <target> <newname>")
+		}
+		return txn.NewUpdate(doc, &xupdate.Update{Kind: xupdate.Rename, Target: rest[0], NewName: rest[1]}), nil
+	case "change":
+		if len(rest) < 2 {
+			return txn.Operation{}, fmt.Errorf("dtxctl: change needs <target> <value>")
+		}
+		return txn.NewUpdate(doc, &xupdate.Update{
+			Kind: xupdate.Change, Target: rest[0], Value: strings.Join(rest[1:], " "),
+		}), nil
+	case "transpose":
+		if len(rest) < 2 {
+			return txn.Operation{}, fmt.Errorf("dtxctl: transpose needs two paths")
+		}
+		return txn.NewUpdate(doc, &xupdate.Update{
+			Kind: xupdate.Transpose, Target: rest[0], Target2: rest[1],
+		}), nil
+	default:
+		return txn.Operation{}, fmt.Errorf("dtxctl: unknown op kind %q", kind)
+	}
+}
+
+// parseSpec converts inline XML into an insertion NodeSpec.
+func parseSpec(xml string) (*xupdate.NodeSpec, error) {
+	doc, err := xmltree.ParseString("inline", xml)
+	if err != nil {
+		return nil, fmt.Errorf("dtxctl: inline xml: %w", err)
+	}
+	var conv func(n *xmltree.Node) *xupdate.NodeSpec
+	conv = func(n *xmltree.Node) *xupdate.NodeSpec {
+		spec := &xupdate.NodeSpec{Name: n.Name, Text: n.Text}
+		spec.Attrs = append(spec.Attrs, n.Attrs...)
+		for _, c := range n.Children {
+			spec.Children = append(spec.Children, conv(c))
+		}
+		return spec
+	}
+	return conv(doc.Root), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtxctl:", err)
+	os.Exit(1)
+}

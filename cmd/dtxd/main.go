@@ -1,0 +1,168 @@
+// Command dtxd runs one DTX site as a standalone daemon speaking the
+// scheduler-to-scheduler protocol over TCP — the multi-machine deployment
+// of Fig. 2 (one DTX instance per site, between clients and the XML store).
+//
+// A three-site deployment:
+//
+//	dtxd -site 0 -listen :7070 -peer 1=hostB:7071 -peer 2=hostC:7072 \
+//	     -store ./site0 -doc d1 -place d1=0,1
+//
+// Documents named with -doc are loaded from the store directory at startup;
+// -place entries teach the catalog where every document (local and remote)
+// lives. Clients submit transactions with dtxctl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/replica"
+	"repro/internal/sched"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	siteID := flag.Int("site", 0, "this site's identifier")
+	listen := flag.String("listen", ":7070", "address to listen on")
+	storeDir := flag.String("store", "./dtxdata", "document store directory")
+	protocol := flag.String("protocol", "xdgl", "locking protocol: xdgl | node2pl | doclock")
+	deadlockMs := flag.Int("deadlock-ms", 50, "distributed deadlock check period (ms)")
+	var peers, docs, places stringList
+	flag.Var(&peers, "peer", "peer site as id=host:port (repeatable)")
+	flag.Var(&docs, "doc", "document to load from the store at startup (repeatable)")
+	flag.Var(&places, "place", "catalog entry doc=site1,site2 (repeatable)")
+	flag.Parse()
+
+	proto, err := lock.ByName(*protocol)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := store.NewFileStore(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	catalog := replica.NewCatalog()
+	siteIDs := map[int]bool{*siteID: true}
+
+	peerAddrs := map[int]string{}
+	for _, p := range peers {
+		id, addr, err := splitPeer(p)
+		if err != nil {
+			fatal(err)
+		}
+		peerAddrs[id] = addr
+		siteIDs[id] = true
+	}
+	for _, pl := range places {
+		doc, sites, err := splitPlace(pl)
+		if err != nil {
+			fatal(err)
+		}
+		catalog.Place(doc, sites...)
+		for _, s := range sites {
+			siteIDs[s] = true
+		}
+	}
+	var allSites []int
+	for id := range siteIDs {
+		allSites = append(allSites, id)
+	}
+
+	site := sched.New(sched.Config{
+		SiteID:           *siteID,
+		Sites:            allSites,
+		Protocol:         proto,
+		Catalog:          catalog,
+		Store:            st,
+		DeadlockInterval: time.Duration(*deadlockMs) * time.Millisecond,
+	})
+	if len(docs) == 0 {
+		// No explicit -doc flags: recover everything the store holds.
+		if _, err := site.Bootstrap(); err != nil {
+			fatal(fmt.Errorf("bootstrap: %w", err))
+		}
+		for _, d := range site.Documents() {
+			fmt.Printf("dtxd: recovered document %s\n", d)
+		}
+	}
+	for _, d := range docs {
+		if err := site.LoadDocument(d); err != nil {
+			fatal(fmt.Errorf("load %s: %w", d, err))
+		}
+		fmt.Printf("dtxd: loaded document %s\n", d)
+	}
+
+	var node *transport.TCPNode
+	err = site.Attach(func(h transport.Handler) (transport.Node, error) {
+		n, err := transport.ListenTCP(*siteID, *listen, h)
+		if err != nil {
+			return nil, err
+		}
+		for id, addr := range peerAddrs {
+			n.SetPeer(id, addr)
+		}
+		node = n
+		return n, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dtxd: site %d serving on %s (protocol %s, %d peer(s))\n",
+		*siteID, node.Addr(), proto.Name(), len(peerAddrs))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("dtxd: shutting down")
+	site.Stop()
+}
+
+func splitPeer(s string) (int, string, error) {
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 {
+		return 0, "", fmt.Errorf("dtxd: -peer %q must be id=host:port", s)
+	}
+	id, err := strconv.Atoi(s[:eq])
+	if err != nil {
+		return 0, "", fmt.Errorf("dtxd: -peer %q: bad site id", s)
+	}
+	return id, s[eq+1:], nil
+}
+
+func splitPlace(s string) (string, []int, error) {
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 {
+		return "", nil, fmt.Errorf("dtxd: -place %q must be doc=site1,site2", s)
+	}
+	doc := s[:eq]
+	var sites []int
+	for _, part := range strings.Split(s[eq+1:], ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return "", nil, fmt.Errorf("dtxd: -place %q: bad site id %q", s, part)
+		}
+		sites = append(sites, id)
+	}
+	return doc, sites, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtxd:", err)
+	os.Exit(1)
+}

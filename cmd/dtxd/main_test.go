@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestSplitPeer(t *testing.T) {
+	id, addr, err := splitPeer("2=host:7072")
+	if err != nil || id != 2 || addr != "host:7072" {
+		t.Fatalf("got %d %q %v", id, addr, err)
+	}
+	for _, bad := range []string{"", "noequals", "x=host:1", "=host:1"} {
+		if _, _, err := splitPeer(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestSplitPlace(t *testing.T) {
+	doc, sites, err := splitPlace("d1=0,1, 2")
+	if err != nil || doc != "d1" || len(sites) != 3 || sites[2] != 2 {
+		t.Fatalf("got %q %v %v", doc, sites, err)
+	}
+	for _, bad := range []string{"", "nodoc", "d1=x", "d1=0,y"} {
+		if _, _, err := splitPlace(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command xmarkgen generates XMark-like auction-site XML documents — the
+// evaluation database of the paper (Fig. 7 schema) — with a byte-size dial
+// standing in for XMark's scale factor.
+//
+// Usage:
+//
+//	xmarkgen -size 1048576 -seed 42 -out auction.xml
+//	xmarkgen -size 65536 -fragments 4 -out auction.xml   # also writes auction#N.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/replica"
+	"repro/internal/xmark"
+)
+
+func main() {
+	size := flag.Int("size", 256<<10, "approximate document size in bytes")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("out", "xmark.xml", "output file (\"-\" for stdout)")
+	fragments := flag.Int("fragments", 0, "also split into N size-balanced fragments")
+	flag.Parse()
+
+	name := strings.TrimSuffix(filepath.Base(*out), ".xml")
+	if *out == "-" {
+		name = "xmark"
+	}
+	doc := xmark.Gen(xmark.Config{Name: name, TargetBytes: *size, Seed: *seed})
+
+	if *out == "-" {
+		if _, err := doc.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := doc.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes, %d nodes)\n", *out, doc.ByteSize(), doc.Len())
+	}
+
+	if *fragments > 1 {
+		frags, err := replica.FragmentDocument(doc, *fragments)
+		if err != nil {
+			fatal(err)
+		}
+		dir := filepath.Dir(*out)
+		for _, fr := range frags {
+			path := filepath.Join(dir, fr.Doc.Name+".xml")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := fr.Doc.WriteTo(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", path, fr.Size)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmarkgen:", err)
+	os.Exit(1)
+}

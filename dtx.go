@@ -1,0 +1,385 @@
+// Package dtx is the public API of this DTX reproduction — a distributed
+// concurrency-control mechanism for XML data (Moreira, Sousa, Machado;
+// ICPP'09 / JCSS 2011). A Cluster runs one DTX instance ("site") per
+// configured site over an in-process network; clients submit transactions —
+// sequences of XPath queries and update-language operations — to any site,
+// which coordinates distributed execution under the configured locking
+// protocol (XDGL by default) with strict 2PL, distributed commit/abort and
+// periodic distributed deadlock detection.
+//
+// Quickstart:
+//
+//	cluster, _ := dtx.New(dtx.Config{Sites: 2})
+//	defer cluster.Close()
+//	cluster.LoadXML("d1", "<people><person><id>4</id></person></people>")
+//	res, _ := cluster.Submit(0,
+//	    dtx.Query("d1", "//person[id='4']"),
+//	    dtx.Insert("d1", "/people", dtx.Into,
+//	        dtx.Elem("person", "", dtx.Elem("id", "22"))),
+//	)
+//	fmt.Println(res.Committed)
+package dtx
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/replica"
+	"repro/internal/sched"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/xmltree"
+	"repro/internal/xupdate"
+)
+
+// Protocol selects the concurrency-control protocol of a cluster.
+type Protocol string
+
+// Available protocols: XDGL is the paper's DataGuide-based multi-granularity
+// protocol; Node2PL is the coarse tree-lock baseline the paper compares
+// against; DocLock is the traditional whole-document lock.
+const (
+	XDGL    Protocol = "xdgl"
+	Node2PL Protocol = "node2pl"
+	DocLock Protocol = "doclock"
+)
+
+// Config configures a Cluster.
+type Config struct {
+	// Sites is the number of DTX instances (default 1).
+	Sites int
+	// Protocol selects the locking protocol (default XDGL).
+	Protocol Protocol
+	// NetworkLatency injects synthetic one-way latency between sites.
+	NetworkLatency time.Duration
+	// DeadlockCheckInterval is the period of the distributed deadlock
+	// detector (default 10ms).
+	DeadlockCheckInterval time.Duration
+	// ClientThinkTime pauses between a transaction's operations.
+	ClientThinkTime time.Duration
+	// StoreDir, when set, persists each site's documents under
+	// StoreDir/site<N>/ instead of in memory.
+	StoreDir string
+	// Journal, together with StoreDir, write-ahead logs commits to
+	// StoreDir/site<N>/commit.log so a restarted site can detect in-doubt
+	// transactions with store.Recover.
+	Journal bool
+}
+
+// Cluster is a running DTX deployment.
+type Cluster struct {
+	sites    []*sched.Site
+	network  *transport.Network
+	catalog  *replica.Catalog
+	journals []*store.Journal
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Sites <= 0 {
+		cfg.Sites = 1
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = XDGL
+	}
+	if cfg.DeadlockCheckInterval <= 0 {
+		cfg.DeadlockCheckInterval = 10 * time.Millisecond
+	}
+	proto, err := lock.ByName(string(cfg.Protocol))
+	if err != nil {
+		return nil, err
+	}
+	net := transport.NewNetwork()
+	net.SetLatency(cfg.NetworkLatency)
+	catalog := replica.NewCatalog()
+	ids := make([]int, cfg.Sites)
+	for i := range ids {
+		ids[i] = i
+	}
+	if cfg.Journal && cfg.StoreDir == "" {
+		return nil, fmt.Errorf("dtx: Journal requires StoreDir")
+	}
+	c := &Cluster{network: net, catalog: catalog}
+	for i := 0; i < cfg.Sites; i++ {
+		var st store.Store
+		var journal *store.Journal
+		if cfg.StoreDir != "" {
+			dir := fmt.Sprintf("%s/site%d", cfg.StoreDir, i)
+			fs, err := store.NewFileStore(dir)
+			if err != nil {
+				return nil, err
+			}
+			st = fs
+			if cfg.Journal {
+				j, err := store.OpenJournal(dir + "/commit.log")
+				if err != nil {
+					return nil, err
+				}
+				journal = j
+				c.journals = append(c.journals, j)
+			}
+		} else {
+			st = store.NewMemStore()
+		}
+		site := sched.New(sched.Config{
+			SiteID:           i,
+			Sites:            ids,
+			Protocol:         proto,
+			Catalog:          catalog,
+			Store:            st,
+			DeadlockInterval: cfg.DeadlockCheckInterval,
+			OpDelay:          cfg.ClientThinkTime,
+			Journal:          journal,
+		})
+		if err := site.AttachNetwork(net); err != nil {
+			return nil, err
+		}
+		c.sites = append(c.sites, site)
+	}
+	return c, nil
+}
+
+// Close stops every site and closes any commit journals.
+func (c *Cluster) Close() {
+	for _, s := range c.sites {
+		s.Stop()
+	}
+	for _, j := range c.journals {
+		j.Close()
+	}
+}
+
+// InDoubt re-exports the journal recovery record.
+type InDoubt = store.InDoubt
+
+// RecoverJournal scans a site's commit journal (written when Config.Journal
+// is set) for transactions whose persistence may be partial after a crash.
+func RecoverJournal(storeDir string, site int) ([]InDoubt, error) {
+	return store.Recover(fmt.Sprintf("%s/site%d/commit.log", storeDir, site))
+}
+
+// Sites returns the number of sites.
+func (c *Cluster) Sites() int { return len(c.sites) }
+
+// LoadXML parses the XML text and installs the document. With no explicit
+// sites the document is totally replicated (a copy at every site);
+// otherwise it is placed at exactly the given sites.
+func (c *Cluster) LoadXML(name, xml string, sites ...int) error {
+	if len(sites) == 0 {
+		sites = make([]int, len(c.sites))
+		for i := range sites {
+			sites[i] = i
+		}
+	}
+	for _, sid := range sites {
+		if sid < 0 || sid >= len(c.sites) {
+			return fmt.Errorf("dtx: site %d out of range", sid)
+		}
+		doc, err := xmltree.ParseString(name, xml)
+		if err != nil {
+			return err
+		}
+		if err := c.sites[sid].AddDocument(doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadXMLPartial fragments the document into as many size-balanced pieces
+// as there are sites and places fragment i at site i — the paper's partial
+// replication. It returns the fragment document names ("name#0", ...).
+func (c *Cluster) LoadXMLPartial(name, xml string) ([]string, error) {
+	doc, err := xmltree.ParseString(name, xml)
+	if err != nil {
+		return nil, err
+	}
+	frags, err := replica.FragmentDocument(doc, len(c.sites))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for i, f := range frags {
+		if err := c.sites[i].AddDocument(f.Doc); err != nil {
+			return nil, err
+		}
+		names = append(names, f.Doc.Name)
+	}
+	return names, nil
+}
+
+// Documents lists the documents known to the cluster's catalog.
+func (c *Cluster) Documents() []string { return c.catalog.Documents() }
+
+// SitesOf returns which sites hold a replica of the document.
+func (c *Cluster) SitesOf(doc string) []int { return c.catalog.Sites(doc) }
+
+// DocumentXML returns the current serialized form of the document as held
+// in memory at the given site.
+func (c *Cluster) DocumentXML(site int, name string) (string, error) {
+	if site < 0 || site >= len(c.sites) {
+		return "", fmt.Errorf("dtx: site %d out of range", site)
+	}
+	doc, err := c.sites[site].Document(name)
+	if err != nil {
+		return "", err
+	}
+	return doc.String(), nil
+}
+
+// Stats re-exports the per-site scheduler counters.
+type Stats = sched.Stats
+
+// SiteStats returns the counters of one site.
+func (c *Cluster) SiteStats(site int) (Stats, error) {
+	if site < 0 || site >= len(c.sites) {
+		return Stats{}, fmt.Errorf("dtx: site %d out of range", site)
+	}
+	return c.sites[site].Stats(), nil
+}
+
+// CheckDeadlocks runs one distributed deadlock-detection sweep from the
+// given site (Algorithm 4) in addition to the periodic background checks.
+func (c *Cluster) CheckDeadlocks(site int) (bool, error) {
+	if site < 0 || site >= len(c.sites) {
+		return false, fmt.Errorf("dtx: site %d out of range", site)
+	}
+	return c.sites[site].CheckDeadlocks(), nil
+}
+
+// Position places an inserted node relative to its target.
+type Position int
+
+// Insertion positions of the update language.
+const (
+	Into Position = iota
+	Before
+	After
+)
+
+func (p Position) toTree() xmltree.Pos {
+	switch p {
+	case Before:
+		return xmltree.Before
+	case After:
+		return xmltree.After
+	default:
+		return xmltree.Into
+	}
+}
+
+// Node describes an XML subtree for Insert operations. Build with Elem and
+// WithAttr.
+type Node struct {
+	Name     string
+	Text     string
+	Attrs    [][2]string
+	Children []Node
+}
+
+// Elem builds a Node with optional children.
+func Elem(name, text string, children ...Node) Node {
+	return Node{Name: name, Text: text, Children: children}
+}
+
+// WithAttr returns a copy of the node with an attribute added.
+func (n Node) WithAttr(name, value string) Node {
+	n.Attrs = append(append([][2]string(nil), n.Attrs...), [2]string{name, value})
+	return n
+}
+
+func (n Node) toSpec() *xupdate.NodeSpec {
+	spec := &xupdate.NodeSpec{Name: n.Name, Text: n.Text}
+	for _, a := range n.Attrs {
+		spec.Attrs = append(spec.Attrs, xmltree.Attr{Name: a[0], Value: a[1]})
+	}
+	for _, c := range n.Children {
+		spec.Children = append(spec.Children, c.toSpec())
+	}
+	return spec
+}
+
+// Op is one operation of a transaction.
+type Op struct {
+	inner txn.Operation
+}
+
+// Query reads the nodes selected by the XPath expression from the document.
+func Query(doc, path string) Op {
+	return Op{inner: txn.NewQuery(doc, path)}
+}
+
+// Insert adds a new subtree at the given position relative to the target.
+func Insert(doc, target string, pos Position, node Node) Op {
+	return Op{inner: txn.NewUpdate(doc, &xupdate.Update{
+		Kind: xupdate.Insert, Target: target, Pos: pos.toTree(), New: node.toSpec(),
+	})}
+}
+
+// Remove deletes the subtree(s) selected by the target path.
+func Remove(doc, target string) Op {
+	return Op{inner: txn.NewUpdate(doc, &xupdate.Update{Kind: xupdate.Remove, Target: target})}
+}
+
+// Rename changes the element name of the selected node(s).
+func Rename(doc, target, newName string) Op {
+	return Op{inner: txn.NewUpdate(doc, &xupdate.Update{Kind: xupdate.Rename, Target: target, NewName: newName})}
+}
+
+// Change replaces the text content of the selected node(s).
+func Change(doc, target, value string) Op {
+	return Op{inner: txn.NewUpdate(doc, &xupdate.Update{Kind: xupdate.Change, Target: target, Value: value})}
+}
+
+// ChangeAttr sets an attribute on the selected node(s).
+func ChangeAttr(doc, target, attr, value string) Op {
+	return Op{inner: txn.NewUpdate(doc, &xupdate.Update{Kind: xupdate.Change, Target: target, Attr: attr, Value: value})}
+}
+
+// Transpose swaps the positions of the two selected nodes.
+func Transpose(doc, a, b string) Op {
+	return Op{inner: txn.NewUpdate(doc, &xupdate.Update{Kind: xupdate.Transpose, Target: a, Target2: b})}
+}
+
+// Result is the outcome of a submitted transaction.
+type Result struct {
+	// ID is the transaction identifier (coordinator site + sequence).
+	ID string
+	// Committed is true when the transaction consolidated at every site.
+	Committed bool
+	// State is "committed", "aborted" or "failed".
+	State string
+	// Reason explains aborts ("deadlock: ...") and failures.
+	Reason string
+	// Results holds, per operation, the string rendering of query matches
+	// (attribute value for /@attr queries, text content otherwise).
+	Results [][]string
+}
+
+// Submit runs a transaction with the given site as coordinator and blocks
+// until it commits, aborts or fails. Aborted transactions (e.g. deadlock
+// victims) may be resubmitted by the caller — DTX leaves that decision to
+// the application.
+func (c *Cluster) Submit(site int, ops ...Op) (*Result, error) {
+	if site < 0 || site >= len(c.sites) {
+		return nil, fmt.Errorf("dtx: site %d out of range", site)
+	}
+	inner := make([]txn.Operation, len(ops))
+	for i, op := range ops {
+		inner[i] = op.inner
+	}
+	res, err := c.sites[site].Submit(inner)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:        res.Txn.String(),
+		Committed: res.State == txn.Committed,
+		State:     strings.ToLower(res.State.String()),
+		Reason:    res.Reason,
+		Results:   res.Results,
+	}, nil
+}

@@ -1,0 +1,49 @@
+// Protocols compares the three concurrency-control protocols DTX can run —
+// XDGL (the paper's contribution), Node2PL tree locks (the related-work
+// stand-in) and the traditional whole-document lock — on one contended
+// workload, printing per-protocol response time, throughput and deadlock
+// counts: a miniature of the paper's evaluation story.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fmt.Println("protocol comparison: 12 clients x 5 tx x 5 ops, 40% update txns,")
+	fmt.Println("partial replication over 4 sites, 384KB XMark base")
+	fmt.Println()
+	fmt.Printf("%-10s %12s %12s %10s %10s %10s\n",
+		"protocol", "resp (ms)", "tput (tx/s)", "commits", "aborts", "deadlocks")
+
+	for _, proto := range []string{"xdgl", "node2pl", "doclock"} {
+		res, err := harness.Run(harness.Params{
+			Sites:       4,
+			Clients:     12,
+			TxPerClient: 5,
+			OpsPerTx:    5,
+			UpdateTxPct: 40,
+			UpdateOpPct: 20,
+			BaseBytes:   384 << 10,
+			Partial:     true,
+			Protocol:    proto,
+			Latency:     200 * time.Microsecond,
+			OpDelay:     time.Millisecond,
+			Seed:        42,
+			// The committed history is verified conflict-serializable for
+			// every protocol.
+			CheckSerializability: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.2f %12.1f %10d %10d %10d\n",
+			proto, res.MeanRespMs, res.ThroughputTPS, res.Committed, res.Aborted, res.Deadlocks)
+	}
+	fmt.Println()
+	fmt.Println("all three committed histories verified conflict-serializable")
+}

@@ -1,0 +1,55 @@
+// Quickstart: a two-site DTX cluster with a totally replicated document.
+// One transaction queries a person, inserts a new one, and reads the result
+// back; the committed insert is then visible at both sites.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dtx "repro"
+)
+
+const peopleXML = `
+<people>
+  <person><id>4</id><name>Ana</name></person>
+  <person><id>7</id><name>Bruno</name></person>
+</people>`
+
+func main() {
+	cluster, err := dtx.New(dtx.Config{Sites: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Total replication: both sites hold d1.
+	if err := cluster.LoadXML("d1", peopleXML); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := cluster.Submit(0,
+		dtx.Query("d1", "//person[id='4']/name"),
+		dtx.Insert("d1", "/people", dtx.Into,
+			dtx.Elem("person", "",
+				dtx.Elem("id", "22"),
+				dtx.Elem("name", "Patricia"))),
+		dtx.Query("d1", "//person/name"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("transaction %s: %s\n", res.ID, res.State)
+	fmt.Printf("person 4 is: %v\n", res.Results[0])
+	fmt.Printf("all persons after insert: %v\n", res.Results[2])
+
+	// The committed insert reached every replica.
+	for site := 0; site < cluster.Sites(); site++ {
+		r, err := cluster.Submit(site, dtx.Query("d1", "//person[id='22']/name"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("site %d sees the new person as: %v\n", site, r.Results[0])
+	}
+}

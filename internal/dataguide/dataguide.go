@@ -1,0 +1,428 @@
+// Package dataguide implements the strong DataGuide structural summary of
+// Goldman & Widom (VLDB'97) that XDGL — and therefore DTX — uses as its lock
+// representation structure. Every distinct label path of the document
+// appears exactly once in the DataGuide; each DataGuide node records the
+// extent of document nodes reachable by its path.
+//
+// Locks are attached to DataGuide nodes, which is why the structure is kept
+// incrementally maintained under the five update operations rather than
+// being rebuilt: lock references must stay stable while transactions run.
+// A DataGuide node whose extent becomes empty is kept as a tombstone so that
+// in-flight lock references remain valid; Compact removes tombstones.
+package dataguide
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// NodeID identifies a DataGuide node within one DataGuide.
+type NodeID int64
+
+// Node is one entry of the structural summary: a distinct label path.
+type Node struct {
+	ID       NodeID
+	Label    string // element name of the last path segment
+	Parent   *Node
+	children map[string]*Node
+	order    []string // child labels in first-seen order, for determinism
+
+	// Extent is the set of document nodes whose label path is this node's
+	// path. Keys are document node IDs.
+	Extent map[xmltree.NodeID]struct{}
+}
+
+// Children returns the child summary nodes in first-seen label order.
+func (n *Node) Children() []*Node {
+	out := make([]*Node, 0, len(n.order))
+	for _, label := range n.order {
+		out = append(out, n.children[label])
+	}
+	return out
+}
+
+// Child returns the child with the given label, or nil.
+func (n *Node) Child(label string) *Node {
+	return n.children[label]
+}
+
+// Path returns the label path of the node, e.g. "/site/people/person".
+func (n *Node) Path() string {
+	var parts []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		parts = append(parts, cur.Label)
+	}
+	var b strings.Builder
+	for i := len(parts) - 1; i >= 0; i-- {
+		b.WriteByte('/')
+		b.WriteString(parts[i])
+	}
+	return b.String()
+}
+
+// Ancestors returns the chain from parent to root.
+func (n *Node) Ancestors() []*Node {
+	var out []*Node
+	for cur := n.Parent; cur != nil; cur = cur.Parent {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Descendants returns all summary nodes strictly below n, depth first.
+func (n *Node) Descendants() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(m *Node) {
+		for _, label := range m.order {
+			c := m.children[label]
+			out = append(out, c)
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// DataGuide is the structural summary of one document.
+type DataGuide struct {
+	Doc  string // document name this guide summarises
+	Root *Node
+
+	nodes  map[NodeID]*Node
+	byDoc  map[xmltree.NodeID]*Node // document node -> summary node
+	nextID NodeID
+}
+
+// Build constructs the strong DataGuide of doc.
+func Build(doc *xmltree.Document) *DataGuide {
+	g := &DataGuide{
+		Doc:    doc.Name,
+		nodes:  make(map[NodeID]*Node),
+		byDoc:  make(map[xmltree.NodeID]*Node),
+		nextID: 1,
+	}
+	g.Root = g.newNode(doc.Root.Name, nil)
+	g.addToExtent(g.Root, doc.Root.ID)
+	var walk func(dn *xmltree.Node, gn *Node)
+	walk = func(dn *xmltree.Node, gn *Node) {
+		for _, c := range dn.Children {
+			cg := g.ensureChild(gn, c.Name)
+			g.addToExtent(cg, c.ID)
+			walk(c, cg)
+		}
+	}
+	walk(doc.Root, g.Root)
+	return g
+}
+
+func (g *DataGuide) newNode(label string, parent *Node) *Node {
+	n := &Node{
+		ID:       g.nextID,
+		Label:    label,
+		Parent:   parent,
+		children: make(map[string]*Node),
+		Extent:   make(map[xmltree.NodeID]struct{}),
+	}
+	g.nextID++
+	g.nodes[n.ID] = n
+	return n
+}
+
+func (g *DataGuide) ensureChild(parent *Node, label string) *Node {
+	if c := parent.children[label]; c != nil {
+		return c
+	}
+	c := g.newNode(label, parent)
+	parent.children[label] = c
+	parent.order = append(parent.order, label)
+	return c
+}
+
+func (g *DataGuide) addToExtent(gn *Node, id xmltree.NodeID) {
+	gn.Extent[id] = struct{}{}
+	g.byDoc[id] = gn
+}
+
+func (g *DataGuide) removeFromExtent(gn *Node, id xmltree.NodeID) {
+	delete(gn.Extent, id)
+	delete(g.byDoc, id)
+}
+
+// Node returns the summary node with the given ID, or nil.
+func (g *DataGuide) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Len returns the number of summary nodes (including tombstones).
+func (g *DataGuide) Len() int { return len(g.nodes) }
+
+// Of returns the summary node a document node belongs to, or nil if the
+// document node is unknown to the guide.
+func (g *DataGuide) Of(docNode xmltree.NodeID) *Node { return g.byDoc[docNode] }
+
+// Lookup returns the summary node for an exact label path such as
+// "/site/people/person", or nil.
+func (g *DataGuide) Lookup(path string) *Node {
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	if len(parts) == 0 || parts[0] != g.Root.Label {
+		return nil
+	}
+	cur := g.Root
+	for _, p := range parts[1:] {
+		cur = cur.children[p]
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// EnsurePath returns the summary node for the label path, creating summary
+// nodes along the way. Used when an insert introduces a brand-new path.
+func (g *DataGuide) EnsurePath(segments []string) (*Node, error) {
+	if len(segments) == 0 || segments[0] != g.Root.Label {
+		return nil, fmt.Errorf("dataguide: path %v does not start at root %q", segments, g.Root.Label)
+	}
+	cur := g.Root
+	for _, s := range segments[1:] {
+		cur = g.ensureChild(cur, s)
+	}
+	return cur, nil
+}
+
+// EnsureChild returns the child of parent with the given label, creating it
+// (with an empty extent) if absent. The XDGL protocol uses this to obtain a
+// lockable summary node for the path a pending insert will create.
+func (g *DataGuide) EnsureChild(parent *Node, label string) *Node {
+	return g.ensureChild(parent, label)
+}
+
+// AddSubtree registers a newly attached document subtree rooted at n.
+func (g *DataGuide) AddSubtree(n *xmltree.Node) error {
+	gn, err := g.EnsurePath(n.PathSegments())
+	if err != nil {
+		return err
+	}
+	g.addToExtent(gn, n.ID)
+	var walk func(dn *xmltree.Node, parent *Node)
+	walk = func(dn *xmltree.Node, parent *Node) {
+		for _, c := range dn.Children {
+			cg := g.ensureChild(parent, c.Name)
+			g.addToExtent(cg, c.ID)
+			walk(c, cg)
+		}
+	}
+	walk(n, gn)
+	return nil
+}
+
+// RemoveSubtree unregisters a document subtree that is being detached. Must
+// be called while the subtree is still attached (paths intact) or with the
+// subtree's byDoc entries still present.
+func (g *DataGuide) RemoveSubtree(n *xmltree.Node) {
+	if gn := g.byDoc[n.ID]; gn != nil {
+		g.removeFromExtent(gn, n.ID)
+	}
+	for _, d := range n.Descendants() {
+		if gn := g.byDoc[d.ID]; gn != nil {
+			g.removeFromExtent(gn, d.ID)
+		}
+	}
+}
+
+// Rename updates the guide for a subtree whose root element was renamed:
+// all paths below the renamed node move. Call after the document mutation.
+func (g *DataGuide) Rename(n *xmltree.Node) error {
+	// Remove old registrations (byDoc still has them), then re-add with the
+	// new paths.
+	g.RemoveSubtree(n)
+	return g.AddSubtree(n)
+}
+
+// Move updates the guide for a subtree that changed position (transpose).
+// Semantics match Rename: re-register under current paths.
+func (g *DataGuide) Move(n *xmltree.Node) error {
+	g.RemoveSubtree(n)
+	return g.AddSubtree(n)
+}
+
+// Compact removes summary nodes with empty extents and no descendants with
+// non-empty extents. It must only be called when no locks reference the
+// guide (e.g. between experiment runs).
+func (g *DataGuide) Compact() int {
+	removed := 0
+	var prune func(n *Node) bool // returns true if n should be kept
+	prune = func(n *Node) bool {
+		var keptOrder []string
+		for _, label := range n.order {
+			c := n.children[label]
+			if prune(c) {
+				keptOrder = append(keptOrder, label)
+			} else {
+				delete(n.children, label)
+				delete(g.nodes, c.ID)
+				removed++
+			}
+		}
+		n.order = keptOrder
+		return len(n.Extent) > 0 || len(n.children) > 0
+	}
+	prune(g.Root)
+	return removed
+}
+
+// Targets evaluates the structural part of a query against the guide,
+// returning the summary nodes the query's final step can reach. Value
+// predicates cannot be decided on a summary, so they are ignored here: the
+// result over-approximates the document targets, which is exactly what a
+// lock cover needs.
+func (g *DataGuide) Targets(q *xpath.Query) []*Node {
+	ctx := []*Node{}
+	for i, step := range q.Steps {
+		var next []*Node
+		nseen := map[NodeID]bool{}
+		add := func(n *Node) {
+			if !nseen[n.ID] {
+				nseen[n.ID] = true
+				next = append(next, n)
+			}
+		}
+		if i == 0 {
+			switch step.Axis {
+			case xpath.Child:
+				if step.Name == "*" || step.Name == g.Root.Label {
+					add(g.Root)
+				}
+			case xpath.Descendant:
+				if step.Name == "*" || step.Name == g.Root.Label {
+					add(g.Root)
+				}
+				for _, d := range g.Root.Descendants() {
+					if step.Name == "*" || step.Name == d.Label {
+						add(d)
+					}
+				}
+			}
+		} else {
+			for _, c := range ctx {
+				switch step.Axis {
+				case xpath.Child:
+					for _, ch := range c.Children() {
+						if step.Name == "*" || step.Name == ch.Label {
+							add(ch)
+						}
+					}
+				case xpath.Descendant:
+					for _, d := range c.Descendants() {
+						if step.Name == "*" || step.Name == d.Label {
+							add(d)
+						}
+					}
+				}
+			}
+		}
+		ctx = next
+		if len(ctx) == 0 {
+			return nil
+		}
+	}
+	return ctx
+}
+
+// PredicateNodes returns, for each step of the query that has a child or
+// attribute predicate, the summary nodes of the predicate's child element
+// under that step's context. XDGL requires ST locks on these nodes.
+func (g *DataGuide) PredicateNodes(q *xpath.Query) []*Node {
+	var out []*Node
+	seen := map[NodeID]bool{}
+	// Re-run the step evaluation, collecting predicate children per step.
+	ctx := []*Node{}
+	for i, step := range q.Steps {
+		var next []*Node
+		nseen := map[NodeID]bool{}
+		add := func(n *Node) {
+			if !nseen[n.ID] {
+				nseen[n.ID] = true
+				next = append(next, n)
+			}
+		}
+		if i == 0 {
+			if step.Name == "*" || step.Name == g.Root.Label {
+				add(g.Root)
+			}
+			if step.Axis == xpath.Descendant {
+				for _, d := range g.Root.Descendants() {
+					if step.Name == "*" || step.Name == d.Label {
+						add(d)
+					}
+				}
+			}
+		} else {
+			for _, c := range ctx {
+				switch step.Axis {
+				case xpath.Child:
+					for _, ch := range c.Children() {
+						if step.Name == "*" || step.Name == ch.Label {
+							add(ch)
+						}
+					}
+				case xpath.Descendant:
+					for _, d := range c.Descendants() {
+						if step.Name == "*" || step.Name == d.Label {
+							add(d)
+						}
+					}
+				}
+			}
+		}
+		for _, p := range step.Preds {
+			if p.Kind != xpath.PredChild {
+				continue
+			}
+			for _, n := range next {
+				if pc := n.Child(p.Name); pc != nil && !seen[pc.ID] {
+					seen[pc.ID] = true
+					out = append(out, pc)
+				}
+			}
+		}
+		ctx = next
+		if len(ctx) == 0 {
+			break
+		}
+	}
+	return out
+}
+
+// Paths returns every label path present in the guide (including tombstones)
+// in sorted order. Mostly for tests and debugging.
+func (g *DataGuide) Paths() []string {
+	var out []string
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		out = append(out, n.Path())
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(g.Root)
+	sort.Strings(out)
+	return out
+}
+
+// String renders the guide as an indented tree with extent sizes.
+func (g *DataGuide) String() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		fmt.Fprintf(&b, "%s%s [%d]\n", strings.Repeat("  ", depth), n.Label, len(n.Extent))
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(g.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,267 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+func quickParams(mut func(*Params)) Params {
+	p := Params{
+		Sites: 2, Clients: 4, TxPerClient: 2, OpsPerTx: 3,
+		UpdateTxPct: 30, UpdateOpPct: 20, BaseBytes: 24 << 10,
+		Partial: true, Protocol: "xdgl", Seed: 11,
+	}
+	if mut != nil {
+		mut(&p)
+	}
+	return p
+}
+
+func TestRunCompletesAndAccounts(t *testing.T) {
+	res, err := Run(quickParams(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed+res.Aborted+res.Failed != res.Total {
+		t.Fatalf("accounting broken: %+v", res)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if res.Failed != 0 {
+		t.Fatalf("failures in a healthy run: %d", res.Failed)
+	}
+	if res.MeanRespMs <= 0 {
+		t.Fatal("no response time measured")
+	}
+	if len(res.CommitTimes) != res.Committed {
+		t.Fatal("commit timeline incomplete")
+	}
+	if res.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRunTotalReplication(t *testing.T) {
+	res, err := Run(quickParams(func(p *Params) { p.Partial = false }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed under total replication")
+	}
+}
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, proto := range []string{"xdgl", "node2pl", "doclock"} {
+		res, err := Run(quickParams(func(p *Params) { p.Protocol = proto }))
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if res.Committed == 0 {
+			t.Fatalf("%s: nothing committed", proto)
+		}
+	}
+	if _, err := Run(quickParams(func(p *Params) { p.Protocol = "bogus" })); err == nil {
+		t.Fatal("bogus protocol accepted")
+	}
+}
+
+func TestRunSerializabilityChecked(t *testing.T) {
+	res, err := Run(quickParams(func(p *Params) {
+		p.CheckSerializability = true
+		p.Clients = 6
+		p.UpdateTxPct = 50
+	}))
+	if err != nil {
+		t.Fatalf("serializability check failed: %v", err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+}
+
+func TestHistoryCheckerCatchesCycle(t *testing.T) {
+	// Construct a history that is NOT serializable: t1 and t2 each write
+	// two paths in opposite order with interleaved acquisition.
+	h := NewHistory()
+	t1 := txn.ID{Site: 1, Seq: 1}
+	t2 := txn.ID{Site: 1, Seq: 2}
+	gA := []sched.GrantInfo{{Path: "/a", Mode: lock.X}}
+	gB := []sched.GrantInfo{{Path: "/b", Mode: lock.X}}
+	h.OnAcquired(0, t1, 0, "d", true, gA) // t1 holds /a
+	h.OnAcquired(0, t2, 0, "d", true, gB) // t2 holds /b
+	h.OnAcquired(0, t2, 1, "d", true, gA) // t2 then /a  (t1 -> t2)
+	h.OnAcquired(0, t1, 1, "d", true, gB) // t1 then /b  (t2 -> t1)
+	h.OnFinished(t1, true)
+	h.OnFinished(t2, true)
+	if err := h.CheckSerializable(); err == nil {
+		t.Fatal("checker accepted a cyclic history")
+	}
+}
+
+func TestHistoryAbortedTxnsIgnored(t *testing.T) {
+	h := NewHistory()
+	t1 := txn.ID{Site: 1, Seq: 1}
+	t2 := txn.ID{Site: 1, Seq: 2}
+	gA := []sched.GrantInfo{{Path: "/a", Mode: lock.X}}
+	gB := []sched.GrantInfo{{Path: "/b", Mode: lock.X}}
+	h.OnAcquired(0, t1, 0, "d", true, gA)
+	h.OnAcquired(0, t2, 0, "d", true, gB)
+	h.OnAcquired(0, t2, 1, "d", true, gA)
+	h.OnAcquired(0, t1, 1, "d", true, gB)
+	h.OnFinished(t1, true)
+	h.OnFinished(t2, false) // t2 aborted: cycle disappears
+	if err := h.CheckSerializable(); err != nil {
+		t.Fatalf("aborted txn still counted: %v", err)
+	}
+	if h.Committed() != 1 {
+		t.Fatalf("committed = %d", h.Committed())
+	}
+}
+
+func TestHistoryUndoneOpsIgnored(t *testing.T) {
+	h := NewHistory()
+	t1 := txn.ID{Site: 1, Seq: 1}
+	t2 := txn.ID{Site: 1, Seq: 2}
+	gA := []sched.GrantInfo{{Path: "/a", Mode: lock.X}}
+	gB := []sched.GrantInfo{{Path: "/b", Mode: lock.X}}
+	h.OnAcquired(0, t1, 0, "d", true, gA)
+	h.OnAcquired(0, t2, 0, "d", true, gB)
+	h.OnAcquired(0, t2, 1, "d", true, gA)
+	h.OnAcquired(0, t1, 1, "d", true, gB)
+	h.OnUndone(0, t1, 1) // t1's second op undone: edge t2->t1 vanishes
+	h.OnFinished(t1, true)
+	h.OnFinished(t2, true)
+	if err := h.CheckSerializable(); err != nil {
+		t.Fatalf("undone op still counted: %v", err)
+	}
+}
+
+func TestFormatFigure(t *testing.T) {
+	fig := Figure{
+		Name: "f", Title: "Test figure", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", Points: []Point{{X: 1, Y: 2}, {X: 2, Y: 3}}},
+			{Label: "b", Points: []Point{{X: 1, Y: 5}}},
+		},
+	}
+	out := Format(fig)
+	if !strings.Contains(out, "Test figure") || !strings.Contains(out, "2.00") {
+		t.Fatalf("format:\n%s", out)
+	}
+	if !strings.Contains(out, "-") { // missing point placeholder
+		t.Fatalf("missing placeholder:\n%s", out)
+	}
+}
+
+func TestFig12SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	sc := Scale{BaseBytes: 24 << 10, ClientDiv: 10, Seed: 3, Latency: 50 * time.Microsecond}
+	figs, err := Fig12(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || len(figs[0].Series) != 2 {
+		t.Fatalf("fig12 shape: %+v", figs)
+	}
+	for _, s := range figs[0].Series {
+		if len(s.Points) != 10 {
+			t.Fatalf("series %s has %d points", s.Label, len(s.Points))
+		}
+		// Cumulative: monotone non-decreasing.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y < s.Points[i-1].Y {
+				t.Fatalf("series %s not cumulative", s.Label)
+			}
+		}
+	}
+}
+
+func TestFig9SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	sc := Scale{BaseBytes: 24 << 10, ClientDiv: 10, Seed: 3, Latency: 50 * time.Microsecond}
+	figs, err := Fig9(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("fig9 panels = %d", len(figs))
+	}
+	for _, fig := range figs {
+		if len(fig.Series) != 2 {
+			t.Fatalf("%s series = %d", fig.Name, len(fig.Series))
+		}
+		for _, s := range fig.Series {
+			if len(s.Points) != 5 {
+				t.Fatalf("%s/%s points = %d", fig.Name, s.Label, len(s.Points))
+			}
+		}
+	}
+}
+
+func TestFig8Table(t *testing.T) {
+	table, err := Fig8(64<<10, 1, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig. 8", "s0", "s1", "s2", "s3", "xmark#0", "KB"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	if _, err := Fig8(1<<10, 1, []int{1000}); err == nil {
+		t.Fatal("absurd site count accepted")
+	}
+}
+
+func TestBuildClusterInvariants(t *testing.T) {
+	p := quickParams(nil)
+	cluster, err := BuildCluster(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+	if len(cluster.Sites) != p.Sites {
+		t.Fatalf("sites = %d", len(cluster.Sites))
+	}
+	if len(cluster.Docs) != p.Sites {
+		t.Fatalf("partial replication must yield one fragment per site, got %d", len(cluster.Docs))
+	}
+	// Every fragment is held by exactly one site, and that site has it in
+	// memory with at least one workload section.
+	for _, d := range cluster.Docs {
+		sites := cluster.Sites[0].Catalog().Sites(d.Name)
+		if len(sites) != 1 {
+			t.Fatalf("fragment %s at %v", d.Name, sites)
+		}
+		if len(d.Sections) == 0 {
+			t.Fatalf("fragment %s has no sections", d.Name)
+		}
+		if _, err := cluster.Sites[sites[0]].Document(d.Name); err != nil {
+			t.Fatalf("fragment %s not loaded at site %d", d.Name, sites[0])
+		}
+	}
+}
+
+func TestRunWithGuardAblationProtocol(t *testing.T) {
+	res, err := Run(quickParams(func(p *Params) {
+		p.Protocol = "xdgl-noguard"
+		p.CheckSerializability = true
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed under xdgl-noguard")
+	}
+}

@@ -1,0 +1,181 @@
+// Package harness implements the evaluation substrate of the paper: the
+// DTXTester client simulator (clients, transactions-per-client,
+// operations-per-transaction, update percentages), metric collection
+// (response time, deadlock counts, commits over time), an offline
+// conflict-serializability checker, and the experiment definitions that
+// regenerate every results figure of the evaluation section (Figs. 9–12).
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/lock"
+	"repro/internal/sched"
+	"repro/internal/txn"
+)
+
+// footprintKey locates one operation execution.
+type footprintKey struct {
+	site int
+	id   txn.ID
+	op   int
+}
+
+// footprint is the lock footprint of one executed operation.
+type footprint struct {
+	seq    int64 // global acquisition order
+	doc    string
+	grants []sched.GrantInfo
+}
+
+// History records lock footprints of executed operations and checks that
+// the committed transactions form a conflict-serializable history: two
+// committed transactions conflict if, at the same site, they held
+// incompatible lock modes on the same DataGuide path; the conflict edge is
+// oriented by acquisition order (under strict 2PL the later one can only
+// have acquired after the earlier one released, i.e. committed). An acyclic
+// conflict graph certifies serializability.
+type History struct {
+	mu        sync.Mutex
+	seq       int64
+	events    map[footprintKey]footprint
+	committed map[txn.ID]bool
+}
+
+var _ sched.HistoryHook = (*History)(nil)
+
+// NewHistory creates an empty recorder; share one across all sites of a
+// cluster.
+func NewHistory() *History {
+	return &History{
+		events:    make(map[footprintKey]footprint),
+		committed: make(map[txn.ID]bool),
+	}
+}
+
+// OnAcquired implements sched.HistoryHook.
+func (h *History) OnAcquired(site int, id txn.ID, op int, doc string, write bool, grants []sched.GrantInfo) {
+	h.mu.Lock()
+	h.seq++
+	h.events[footprintKey{site: site, id: id, op: op}] = footprint{seq: h.seq, doc: doc, grants: grants}
+	h.mu.Unlock()
+}
+
+// OnUndone implements sched.HistoryHook.
+func (h *History) OnUndone(site int, id txn.ID, op int) {
+	h.mu.Lock()
+	delete(h.events, footprintKey{site: site, id: id, op: op})
+	h.mu.Unlock()
+}
+
+// OnFinished implements sched.HistoryHook.
+func (h *History) OnFinished(id txn.ID, committed bool) {
+	h.mu.Lock()
+	if committed {
+		h.committed[id] = true
+	} else {
+		// Drop every footprint of an aborted transaction: its effects were
+		// undone and do not participate in the committed history.
+		for k := range h.events {
+			if k.id == id {
+				delete(h.events, k)
+			}
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Committed returns the number of committed transactions recorded.
+func (h *History) Committed() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.committed)
+}
+
+// CheckSerializable verifies the committed history is conflict-serializable
+// and that conflicting grant windows never interleave (the strict-2PL
+// signature). It returns an error describing the first violation found.
+func (h *History) CheckSerializable() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	// Aggregate per (site, doc, path): list of (txn, mode, seq).
+	type hold struct {
+		id   txn.ID
+		mode lock.Mode
+		seq  int64
+	}
+	holdsAt := make(map[string][]hold)
+	for k, fp := range h.events {
+		if !h.committed[k.id] {
+			continue
+		}
+		for _, g := range fp.grants {
+			key := fmt.Sprintf("%d\x00%s\x00%s", k.site, fp.doc, g.Path)
+			holdsAt[key] = append(holdsAt[key], hold{id: k.id, mode: g.Mode, seq: fp.seq})
+		}
+	}
+
+	// Build conflict edges ordered by acquisition sequence.
+	type pair struct{ a, b txn.ID }
+	edges := make(map[pair]bool)
+	nodes := make(map[txn.ID]bool)
+	for _, hs := range holdsAt {
+		sort.Slice(hs, func(i, j int) bool { return hs[i].seq < hs[j].seq })
+		for i := 0; i < len(hs); i++ {
+			for j := i + 1; j < len(hs); j++ {
+				if hs[i].id == hs[j].id {
+					continue
+				}
+				if !lock.Compatible(hs[i].mode, hs[j].mode) {
+					edges[pair{hs[i].id, hs[j].id}] = true
+					nodes[hs[i].id] = true
+					nodes[hs[j].id] = true
+				}
+			}
+		}
+	}
+
+	// Cycle check via DFS with colors.
+	adj := make(map[txn.ID][]txn.ID)
+	for e := range edges {
+		adj[e.a] = append(adj[e.a], e.b)
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[txn.ID]int, len(nodes))
+	var cycleErr error
+	var dfs func(u txn.ID) bool
+	dfs = func(u txn.ID) bool {
+		color[u] = grey
+		for _, v := range adj[u] {
+			switch color[v] {
+			case white:
+				if dfs(v) {
+					return true
+				}
+			case grey:
+				cycleErr = fmt.Errorf("harness: conflict cycle through %s and %s — history not serializable", u, v)
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	ids := make([]txn.ID, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	for _, id := range ids {
+		if color[id] == white && dfs(id) {
+			return cycleErr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,313 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/replica"
+	"repro/internal/sched"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/xmark"
+	"repro/internal/xmltree"
+)
+
+// Params are the workload dials of the paper's experiments (§3.2): "each
+// client contains 5 transactions with 5 operations each", update-transaction
+// and update-operation percentages, base size, number of sites and clients,
+// and the replication mode.
+type Params struct {
+	Sites       int
+	Clients     int
+	TxPerClient int
+	OpsPerTx    int
+	// UpdateTxPct is the percentage of transactions that are update
+	// transactions; UpdateOpPct is the percentage of update operations
+	// inside an update transaction (the paper fixes this at 20%).
+	UpdateTxPct int
+	UpdateOpPct int
+	// BaseBytes is the generated database size in bytes (the paper's MB
+	// dial, scaled down: the in-process substrate keeps ratios, not
+	// absolute sizes).
+	BaseBytes int
+	// Partial selects partial replication (size-balanced fragments, one
+	// site each) instead of total replication (every document everywhere).
+	Partial bool
+	// Protocol is "xdgl", "node2pl" or "doclock".
+	Protocol string
+	// Latency is the synthetic one-way network latency between sites.
+	Latency time.Duration
+	// OpDelay is the client think time between operations.
+	OpDelay time.Duration
+	// DeadlockInterval is the period of the distributed deadlock detector.
+	DeadlockInterval time.Duration
+	// Seed makes the workload deterministic.
+	Seed int64
+	// CheckSerializability attaches the history recorder and verifies the
+	// committed history after the run (slows large runs slightly).
+	CheckSerializability bool
+	// VictimOldest flips the deadlock victim rule to oldest-in-cycle (the
+	// paper's rule is newest); an ablation knob.
+	VictimOldest bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.Sites <= 0 {
+		p.Sites = 4
+	}
+	if p.Clients <= 0 {
+		p.Clients = 10
+	}
+	if p.TxPerClient <= 0 {
+		p.TxPerClient = 5
+	}
+	if p.OpsPerTx <= 0 {
+		p.OpsPerTx = 5
+	}
+	if p.UpdateOpPct <= 0 {
+		p.UpdateOpPct = 20
+	}
+	if p.BaseBytes <= 0 {
+		p.BaseBytes = 128 << 10
+	}
+	if p.Protocol == "" {
+		p.Protocol = "xdgl"
+	}
+	if p.DeadlockInterval <= 0 {
+		p.DeadlockInterval = 10 * time.Millisecond
+	}
+	return p
+}
+
+// Result aggregates the metrics of one run — the quantities the paper's
+// figures plot.
+type Result struct {
+	Params    Params
+	Total     int
+	Committed int
+	Aborted   int
+	Failed    int
+	// Deadlocks counts transactions aborted as deadlock victims, the
+	// paper's "number of deadlocks".
+	Deadlocks int
+	// Response-time statistics over committed transactions, in
+	// milliseconds (the paper reports mean response time).
+	MeanRespMs float64
+	P95RespMs  float64
+	// Wall is the wall-clock duration of the whole run.
+	Wall time.Duration
+	// CommitTimes are offsets from run start of every commit, sorted — the
+	// raw series behind Fig. 12's "transactions consolidated at each time
+	// interval".
+	CommitTimes []time.Duration
+	// ThroughputTPS is committed transactions per wall-clock second.
+	ThroughputTPS float64
+}
+
+// DocInfo describes one targetable document: its name and the workload
+// sections it holds, so the client simulator routes operations to documents
+// that contain the data they touch (the fragmentation-predicate role).
+type DocInfo struct {
+	Name     string
+	Sections []string
+}
+
+// Cluster is a running DTX deployment plus the routing information the
+// client simulator needs.
+type Cluster struct {
+	Sites   []*sched.Site
+	Network *transport.Network
+	Docs    []DocInfo // documents clients may target
+	catalog *replica.Catalog
+}
+
+// Stop shuts the cluster down.
+func (c *Cluster) Stop() {
+	for _, s := range c.Sites {
+		s.Stop()
+	}
+}
+
+// BuildCluster constructs the deployment for the given parameters: sites,
+// protocol, catalog, network (with latency), data generation and
+// allocation. The returned cluster is ready to accept transactions.
+func BuildCluster(p Params, hook sched.HistoryHook) (*Cluster, error) {
+	p = p.withDefaults()
+	proto, err := lock.ByName(p.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	net := transport.NewNetwork()
+	net.SetLatency(p.Latency)
+	catalog := replica.NewCatalog()
+	ids := make([]int, p.Sites)
+	for i := range ids {
+		ids[i] = i
+	}
+	sites := make([]*sched.Site, p.Sites)
+	for i := range sites {
+		sites[i] = sched.New(sched.Config{
+			SiteID:           i,
+			Sites:            ids,
+			Protocol:         proto,
+			Catalog:          catalog,
+			DeadlockInterval: p.DeadlockInterval,
+			OpDelay:          p.OpDelay,
+			History:          hook,
+			VictimOldest:     p.VictimOldest,
+		})
+		if err := sites[i].AttachNetwork(net); err != nil {
+			return nil, err
+		}
+	}
+
+	base := xmark.Gen(xmark.Config{Name: "xmark", TargetBytes: p.BaseBytes, Seed: p.Seed})
+	var docs []DocInfo
+	if p.Partial {
+		perSite, err := replica.AllocatePartial(catalog, []*xmltree.Document{base}, p.Sites)
+		if err != nil {
+			return nil, err
+		}
+		for siteID, frags := range perSite {
+			for _, fd := range frags {
+				if err := sites[siteID].AddDocument(fd); err != nil {
+					return nil, err
+				}
+				docs = append(docs, DocInfo{Name: fd.Name, Sections: xmark.Sections(fd)})
+			}
+		}
+		sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
+	} else {
+		for _, s := range sites {
+			if err := s.AddDocument(base.Clone()); err != nil {
+				return nil, err
+			}
+		}
+		docs = []DocInfo{{Name: "xmark", Sections: xmark.Sections(base)}}
+	}
+	return &Cluster{Sites: sites, Network: net, Docs: docs, catalog: catalog}, nil
+}
+
+// Run executes the DTXTester workload against a fresh cluster and collects
+// metrics. Aborted transactions are not resubmitted, matching the paper
+// ("it is the responsibility of the application client to decide if it
+// resubmits").
+func Run(p Params) (*Result, error) {
+	p = p.withDefaults()
+	var hook *History
+	var schedHook sched.HistoryHook
+	if p.CheckSerializability {
+		hook = NewHistory()
+		schedHook = hook
+	}
+	cluster, err := BuildCluster(p, schedHook)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Stop()
+
+	res := &Result{Params: p, Total: p.Clients * p.TxPerClient}
+	var latencies []time.Duration
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < p.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(p.Seed + int64(c)*7919))
+			site := cluster.Sites[c%len(cluster.Sites)]
+			for t := 0; t < p.TxPerClient; t++ {
+				ops := buildTxn(p, cluster.Docs, rng, int64(c)*1000+int64(t))
+				t0 := time.Now()
+				r, err := site.Submit(ops)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					res.Failed++
+					mu.Unlock()
+					continue
+				}
+				switch r.State {
+				case txn.Committed:
+					res.Committed++
+					res.CommitTimes = append(res.CommitTimes, time.Since(start))
+					latencies = append(latencies, lat)
+					res.MeanRespMs += float64(lat.Microseconds()) / 1000.0
+				case txn.Aborted:
+					res.Aborted++
+				default:
+					res.Failed++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+
+	// Per-site stats: deadlock-victim aborts.
+	for _, s := range cluster.Sites {
+		st := s.Stats()
+		res.Deadlocks += int(st.DeadlockAborts)
+	}
+	if res.Committed > 0 {
+		res.MeanRespMs /= float64(res.Committed)
+		res.ThroughputTPS = float64(res.Committed) / res.Wall.Seconds()
+	}
+	sort.Slice(res.CommitTimes, func(i, j int) bool { return res.CommitTimes[i] < res.CommitTimes[j] })
+	res.P95RespMs = p95(latencies)
+	if hook != nil {
+		if err := hook.CheckSerializable(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// p95 returns the 95th-percentile latency in milliseconds.
+func p95(latencies []time.Duration) float64 {
+	if len(latencies) == 0 {
+		return 0
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	idx := len(latencies) * 95 / 100
+	if idx >= len(latencies) {
+		idx = len(latencies) - 1
+	}
+	return float64(latencies[idx].Microseconds()) / 1000.0
+}
+
+// buildTxn assembles one client transaction per the workload percentages.
+// Each operation picks a document (fragment) and then a query or update
+// against a section that document actually holds.
+func buildTxn(p Params, docs []DocInfo, rng *rand.Rand, uniq int64) []txn.Operation {
+	isUpdateTxn := rng.Intn(100) < p.UpdateTxPct
+	ops := make([]txn.Operation, 0, p.OpsPerTx)
+	for i := 0; i < p.OpsPerTx; i++ {
+		doc := docs[rng.Intn(len(docs))]
+		section := "people"
+		if len(doc.Sections) > 0 {
+			section = doc.Sections[rng.Intn(len(doc.Sections))]
+		}
+		if isUpdateTxn && rng.Intn(100) < p.UpdateOpPct {
+			u := xmark.UpdateFor(section, uniq*100+int64(i), rng)
+			ops = append(ops, txn.NewUpdate(doc.Name, u))
+		} else {
+			ops = append(ops, txn.NewQuery(doc.Name, xmark.QueryFor(section, rng)))
+		}
+	}
+	return ops
+}
+
+// String renders the result as one row of a paper-style table.
+func (r *Result) String() string {
+	return fmt.Sprintf("clients=%d sites=%d upd%%=%d base=%dKB partial=%v proto=%-7s | resp=%.2fms commits=%d aborts=%d deadlocks=%d tps=%.1f wall=%v",
+		r.Params.Clients, r.Params.Sites, r.Params.UpdateTxPct, r.Params.BaseBytes>>10,
+		r.Params.Partial, r.Params.Protocol, r.MeanRespMs, r.Committed, r.Aborted,
+		r.Deadlocks, r.ThroughputTPS, r.Wall.Round(time.Millisecond))
+}

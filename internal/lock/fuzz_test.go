@@ -1,0 +1,98 @@
+package lock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataguide"
+	"repro/internal/txn"
+	"repro/internal/xmltree"
+)
+
+// TestPropertyTableInvariants drives the lock table with random acquire /
+// release-op / release-all sequences from several transactions and checks,
+// after every step, that (a) no two *granted* incompatible unguarded locks
+// coexist on one node, (b) GrantCount matches the sum over HeldBy, and
+// (c) releasing everything empties the table.
+func TestPropertyTableInvariants(t *testing.T) {
+	doc, err := xmltree.ParseString("d", `
+<r>
+  <a><x>1</x><y>2</y></a>
+  <b><x>3</x></b>
+  <c><z>4</z></c>
+</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dataguide.Build(doc)
+	var nodes []*dataguide.Node
+	for _, p := range g.Paths() {
+		nodes = append(nodes, g.Lookup(p))
+	}
+	modes := []Mode{IS, IX, SI, SA, SB, ST, X, XT}
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := NewTable(g)
+		const txns = 4
+		ops := make([]int, txns)
+		for step := 0; step < 120; step++ {
+			ti := rng.Intn(txns)
+			id := txn.ID{Site: 1, Seq: int64(ti + 1)}
+			owner := Owner{Txn: id, TS: txn.TS(ti + 1), Op: ops[ti]}
+			switch rng.Intn(10) {
+			case 8: // release one op
+				tbl.ReleaseOp(id, rng.Intn(ops[ti]+1))
+			case 9: // finish the transaction
+				tbl.ReleaseAll(id)
+				ops[ti] = 0
+			default: // acquire a small random request set
+				n := 1 + rng.Intn(3)
+				reqs := make([]Request, 0, n)
+				for i := 0; i < n; i++ {
+					reqs = append(reqs, Request{
+						Node: nodes[rng.Intn(len(nodes))],
+						Mode: modes[rng.Intn(len(modes))],
+					})
+				}
+				tbl.Acquire(owner, reqs)
+				ops[ti]++
+			}
+			// Invariant (a): granted unguarded locks are pairwise compatible
+			// across transactions on every node.
+			for _, node := range nodes {
+				holders := tbl.Holders(node)
+				for i := 0; i < len(holders); i++ {
+					for j := i + 1; j < len(holders); j++ {
+						for _, mi := range tbl.Modes(holders[i], node) {
+							for _, mj := range tbl.Modes(holders[j], node) {
+								if !Compatible(mi, mj) {
+									t.Logf("seed %d: %v and %v coexist on %s", seed, mi, mj, node.Path())
+									return false
+								}
+							}
+						}
+					}
+				}
+			}
+			// Invariant (b): accounting agrees.
+			sum := 0
+			for _, id := range tbl.ActiveTxns() {
+				sum += tbl.HeldBy(id)
+			}
+			if sum != tbl.GrantCount() {
+				t.Logf("seed %d: sum(HeldBy)=%d GrantCount=%d", seed, sum, tbl.GrantCount())
+				return false
+			}
+		}
+		// Invariant (c): a full release empties the table.
+		for ti := 0; ti < txns; ti++ {
+			tbl.ReleaseAll(txn.ID{Site: 1, Seq: int64(ti + 1)})
+		}
+		return tbl.GrantCount() == 0 && len(tbl.ActiveTxns()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package lock
+
+import (
+	"fmt"
+
+	"repro/internal/xpath"
+)
+
+// Guard restricts a lock on a DataGuide class to the instance subset
+// satisfying a simple equality predicate from the lock holder's path
+// expression. Guards implement the predicate-annotated locking of the
+// DGLOCK/XDGL family: two locks on the same summary node whose guards are
+// provably disjoint (same step, same attribute or child, different required
+// value — or different positions) do not conflict, which is what makes the
+// DataGuide protocol finer-grained than tree locks for point operations.
+// A nil guard covers the whole class.
+type Guard struct {
+	// Step is the element name of the location step the predicate applies
+	// to; guards on different steps are never comparable.
+	Step string
+	// Kind mirrors the xpath predicate kinds usable as guards.
+	Kind xpath.PredKind
+	// Name is the child element or attribute name compared (PredChild /
+	// PredAttr).
+	Name string
+	// Value is the required value (PredChild / PredAttr / PredText).
+	Value string
+	// Pos is the required position (PredPosition).
+	Pos int
+}
+
+// String renders the guard for diagnostics.
+func (g *Guard) String() string {
+	if g == nil {
+		return "*"
+	}
+	switch g.Kind {
+	case xpath.PredPosition:
+		return fmt.Sprintf("%s[%d]", g.Step, g.Pos)
+	case xpath.PredAttr:
+		return fmt.Sprintf("%s[@%s=%q]", g.Step, g.Name, g.Value)
+	case xpath.PredText:
+		return fmt.Sprintf("%s[text()=%q]", g.Step, g.Value)
+	default:
+		return fmt.Sprintf("%s[%s=%q]", g.Step, g.Name, g.Value)
+	}
+}
+
+// Disjoint reports whether two guards provably select disjoint instance
+// sets. Conservative: anything not provably disjoint overlaps.
+func (g *Guard) Disjoint(other *Guard) bool {
+	if g == nil || other == nil {
+		return false
+	}
+	if g.Step != other.Step || g.Kind != other.Kind || g.Name != other.Name {
+		return false
+	}
+	switch g.Kind {
+	case xpath.PredPosition:
+		return g.Pos != other.Pos
+	default:
+		return g.Value != other.Value
+	}
+}
+
+// GuardFromQuery derives the lock guard of a path expression: the equality
+// (or positional) predicate of the last step that carries one. Inequality
+// predicates cannot guard (their complement is unbounded).
+func GuardFromQuery(q *xpath.Query) *Guard {
+	for i := len(q.Steps) - 1; i >= 0; i-- {
+		step := q.Steps[i]
+		for _, p := range step.Preds {
+			switch p.Kind {
+			case xpath.PredPosition:
+				return &Guard{Step: step.Name, Kind: p.Kind, Pos: p.Position}
+			case xpath.PredChild, xpath.PredAttr, xpath.PredText:
+				if p.Op == xpath.Eq {
+					return &Guard{Step: step.Name, Kind: p.Kind, Name: p.Name, Value: p.Value}
+				}
+			}
+		}
+	}
+	return nil
+}

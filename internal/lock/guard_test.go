@@ -1,0 +1,140 @@
+package lock
+
+import (
+	"testing"
+
+	"repro/internal/dataguide"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xupdate"
+)
+
+func TestGuardFromQuery(t *testing.T) {
+	cases := map[string]string{
+		"//person[id='4']/name":           `person[id="4"]`,
+		"//person[@id='p1']":              `person[@id="p1"]`,
+		"//person[2]/name":                "person[2]",
+		"//person/name":                   "*",
+		"//person[id!='4']":               "*",        // inequality cannot guard
+		"//a[x='1']/b[y='2']/c":           `b[y="2"]`, // last guarded step wins
+		"/site/people/person[text()='x']": `person[text()="x"]`,
+	}
+	for query, want := range cases {
+		g := GuardFromQuery(xpath.MustParse(query))
+		if g.String() != want {
+			t.Errorf("GuardFromQuery(%s) = %s, want %s", query, g.String(), want)
+		}
+	}
+}
+
+func TestGuardDisjoint(t *testing.T) {
+	gid4 := GuardFromQuery(xpath.MustParse("//person[id='4']"))
+	gid7 := GuardFromQuery(xpath.MustParse("//person[id='7']"))
+	gname := GuardFromQuery(xpath.MustParse("//person[name='x']"))
+	gpos1 := GuardFromQuery(xpath.MustParse("//person[1]"))
+	gpos2 := GuardFromQuery(xpath.MustParse("//person[2]"))
+	gitem := GuardFromQuery(xpath.MustParse("//item[id='4']"))
+
+	if !gid4.Disjoint(gid7) || !gid7.Disjoint(gid4) {
+		t.Error("different values on same key must be disjoint")
+	}
+	if gid4.Disjoint(gid4) {
+		t.Error("identical guards overlap")
+	}
+	if gid4.Disjoint(gname) {
+		t.Error("different predicate names are not comparable")
+	}
+	if !gpos1.Disjoint(gpos2) {
+		t.Error("different positions must be disjoint")
+	}
+	if gid4.Disjoint(gpos1) {
+		t.Error("value and position guards are not comparable")
+	}
+	if gid4.Disjoint(gitem) {
+		t.Error("guards on different steps are not comparable")
+	}
+	var nilGuard *Guard
+	if nilGuard.Disjoint(gid4) || gid4.Disjoint(nilGuard) {
+		t.Error("nil guard overlaps everything")
+	}
+	if nilGuard.String() != "*" {
+		t.Error("nil guard renders as *")
+	}
+}
+
+// TestGuardedLocksCoexist: the DGLOCK refinement — point updates on
+// different instances of the same DataGuide class do not conflict, while a
+// class scan conflicts with any of them.
+func TestGuardedLocksCoexist(t *testing.T) {
+	doc, err := xmltree.ParseString("d2", storeXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dataguide.Build(doc)
+	tbl := NewTable(g)
+	o1, o2, o3 := owner(1, 1, 0), owner(1, 2, 0), owner(1, 3, 0)
+
+	u1 := &xupdate.Update{Kind: xupdate.Change, Target: "//product[id='4']/price", Value: "1"}
+	r1, err := XDGL{}.UpdateRequests(doc, g, u1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := tbl.Acquire(o1, r1); c != nil {
+		t.Fatal(c)
+	}
+
+	// Disjoint point update on the same class: compatible.
+	u2 := &xupdate.Update{Kind: xupdate.Change, Target: "//product[id='14']/price", Value: "2"}
+	r2, err := XDGL{}.UpdateRequests(doc, g, u2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := tbl.Acquire(o2, r2); c != nil {
+		t.Fatalf("disjoint guarded X locks conflicted: %v", c)
+	}
+
+	// A class scan overlaps both point writers.
+	qr, err := XDGL{}.QueryRequests(doc, g, xpath.MustParse("//product/price"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := tbl.Acquire(o3, qr); len(c) != 2 {
+		t.Fatalf("scan should conflict with both writers: %v", c)
+	}
+
+	// A point read of one instance conflicts with exactly its writer.
+	qr4, err := XDGL{}.QueryRequests(doc, g, xpath.MustParse("//product[id='4']/price"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := tbl.Acquire(o3, qr4); len(c) != 1 || c[0].Txn != o1.Txn {
+		t.Fatalf("point read conflicts = %v, want only the id=4 writer", c)
+	}
+}
+
+func TestGuardedAbsorptionSafe(t *testing.T) {
+	// Holding a guarded lock must not absorb a later unguarded request for
+	// the same node/mode: the unguarded one is wider.
+	doc, err := xmltree.ParseString("d2", storeXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dataguide.Build(doc)
+	tbl := NewTable(g)
+	price := g.Lookup("/products/product/price")
+	o1, o2 := owner(1, 1, 0), owner(1, 2, 0)
+	guard := GuardFromQuery(xpath.MustParse("//product[id='4']/price"))
+
+	if c := tbl.Acquire(o1, []Request{{Node: price, Mode: X, Guard: guard}}); c != nil {
+		t.Fatal(c)
+	}
+	// o2 takes the disjoint half.
+	guard2 := GuardFromQuery(xpath.MustParse("//product[id='14']/price"))
+	if c := tbl.Acquire(o2, []Request{{Node: price, Mode: ST, Guard: guard2}}); c != nil {
+		t.Fatalf("disjoint ST should pass: %v", c)
+	}
+	// o1 widening to the whole class must now conflict with o2.
+	if c := tbl.Acquire(o1, []Request{{Node: price, Mode: X}}); len(c) != 1 || c[0].Txn != o2.Txn {
+		t.Fatalf("unguarded widen conflicts = %v", c)
+	}
+}

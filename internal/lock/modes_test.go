@@ -1,0 +1,92 @@
+package lock
+
+import "testing"
+
+func allModes() []Mode {
+	return []Mode{IS, IX, SI, SA, SB, ST, X, XT, R, W}
+}
+
+func TestMatrixSymmetry(t *testing.T) {
+	for _, a := range allModes() {
+		for _, b := range allModes() {
+			if Compatible(a, b) != Compatible(b, a) {
+				t.Errorf("matrix asymmetric at (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestExclusiveConflictsWithEverything(t *testing.T) {
+	for _, ex := range []Mode{X, XT, W} {
+		for _, m := range allModes() {
+			if Compatible(ex, m) {
+				t.Errorf("%v must conflict with %v", ex, m)
+			}
+		}
+	}
+}
+
+func TestIntentionLocksMutuallyCompatible(t *testing.T) {
+	for _, a := range []Mode{IS, IX} {
+		for _, b := range []Mode{IS, IX, SI, SA, SB} {
+			if !Compatible(a, b) {
+				t.Errorf("%v should be compatible with %v", a, b)
+			}
+		}
+	}
+}
+
+// The worked scenario of §2.4 hinges on ST (held by a query) being
+// incompatible with IX (needed by an insert below the same node) — twice:
+// t1's IX on node 2 vs t2's ST, and t2's IX on node 56 vs t1's ST.
+func TestScenarioSTvsIX(t *testing.T) {
+	if Compatible(ST, IX) {
+		t.Fatal("ST must conflict with IX (paper §2.4)")
+	}
+	if Compatible(ST, SI) {
+		t.Fatal("ST must conflict with SI: insertion into a read-protected subtree")
+	}
+	if !Compatible(ST, IS) {
+		t.Fatal("ST must admit IS: concurrent readers below")
+	}
+	if !Compatible(ST, ST) {
+		t.Fatal("ST must admit ST: shared readers")
+	}
+	if !Compatible(ST, SA) || !Compatible(ST, SB) {
+		t.Fatal("ST must admit SA/SB: sibling insertion does not touch the subtree")
+	}
+}
+
+func TestSharedInsertionLocksAreShared(t *testing.T) {
+	for _, a := range []Mode{SI, SA, SB} {
+		for _, b := range []Mode{SI, SA, SB, IS, IX} {
+			if !Compatible(a, b) {
+				t.Errorf("%v should be compatible with %v", a, b)
+			}
+		}
+		if Compatible(a, X) || Compatible(a, XT) {
+			t.Errorf("%v must conflict with exclusive modes", a)
+		}
+	}
+}
+
+func TestBaselineRW(t *testing.T) {
+	if !Compatible(R, R) {
+		t.Fatal("R must admit R")
+	}
+	if Compatible(R, W) || Compatible(W, W) {
+		t.Fatal("W must be exclusive")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{IS: "IS", IX: "IX", SI: "SI", SA: "SA", SB: "SB", ST: "ST", X: "X", XT: "XT", R: "R", W: "W"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("String(%d) = %q, want %q", int(m), m.String(), s)
+		}
+	}
+	if !X.Exclusive() || !XT.Exclusive() || !W.Exclusive() || ST.Exclusive() {
+		t.Fatal("Exclusive() misclassifies")
+	}
+}

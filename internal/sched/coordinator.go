@@ -1,0 +1,340 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/txn"
+)
+
+// Submit runs a client transaction to completion at this site, which acts
+// as its coordinator (Algorithm 1). The call blocks until the transaction
+// commits, aborts or fails, and returns the outcome. An error is returned
+// only for malformed submissions.
+func (s *Site) Submit(ops []txn.Operation) (*Result, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("sched: empty transaction")
+	}
+	for i := range ops {
+		if ops[i].Doc == "" {
+			return nil, fmt.Errorf("sched: operation %d has no document", i)
+		}
+		if ops[i].Kind == txn.OpUpdate {
+			if ops[i].Update == nil {
+				return nil, fmt.Errorf("sched: operation %d is an update without a body", i)
+			}
+			if err := ops[i].Update.Validate(); err != nil {
+				return nil, fmt.Errorf("sched: operation %d: %w", i, err)
+			}
+		}
+	}
+
+	ct := s.beginTxn(ops)
+	id := ct.t.ID
+
+	reason, deadlock := s.runOps(ct)
+	var state txn.State
+	switch {
+	case reason == "":
+		if s.commitTransaction(ct) {
+			state = txn.Committed
+		} else {
+			state = txn.Failed
+			reason = "commit rejected at a participant site"
+		}
+	case reason == reasonFailed:
+		s.failTransaction(ct)
+		state = txn.Failed
+	default:
+		if s.abortTransaction(ct) {
+			state = txn.Aborted
+		} else {
+			state = txn.Failed
+		}
+	}
+
+	s.mu.Lock()
+	switch state {
+	case txn.Committed:
+		s.stats.TxnsCommitted++
+	case txn.Aborted:
+		s.stats.TxnsAborted++
+		if deadlock {
+			s.stats.DeadlockAborts++
+		}
+	case txn.Failed:
+		s.stats.TxnsFailed++
+	}
+	ct.t.State = state
+	delete(s.coord, id)
+	s.mu.Unlock()
+	if s.cfg.History != nil {
+		s.cfg.History.OnFinished(id, state == txn.Committed)
+	}
+
+	return &Result{Txn: id, State: state, Results: ct.results, Reason: reason}, nil
+}
+
+// reasonFailed is the sentinel reason for unrecoverable operation failures.
+const reasonFailed = "operation failed"
+
+func (s *Site) beginTxn(ops []txn.Operation) *coordTxn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	id := txn.ID{Site: s.id, Seq: s.seq}
+	ts := s.clock.Tick()
+	ct := &coordTxn{
+		t:       txn.New(id, ts, ops),
+		wake:    make(chan struct{}, 1),
+		abortCh: make(chan string, 1),
+		sites:   make(map[int]bool),
+		results: make([][]string, len(ops)),
+	}
+	s.coord[id] = ct
+	s.coordOf[id] = s.id
+	return ct
+}
+
+// runOps drives the operations of a transaction in order (Algorithm 1's
+// inner loop). It returns an empty reason on success, or the abort/fail
+// reason, plus whether the abort was due to a deadlock.
+func (s *Site) runOps(ct *coordTxn) (reason string, deadlock bool) {
+	for i := range ct.t.Ops {
+		if i > 0 && s.cfg.OpDelay > 0 {
+			select {
+			case <-time.After(s.cfg.OpDelay):
+			case <-s.stopCh:
+				return "site stopping", false
+			}
+		}
+		if r, dl := s.execOp(ct, i); r != "" {
+			return r, dl
+		}
+	}
+	return "", false
+}
+
+// execOp executes one operation at every site holding its document,
+// retrying with wait mode on lock conflicts (Algorithm 1, l. 5–23).
+func (s *Site) execOp(ct *coordTxn, opIdx int) (reason string, deadlock bool) {
+	op := ct.t.Ops[opIdx]
+	id, ts := ct.t.ID, ct.t.TS
+	for {
+		// A victim signal can arrive at any point while the operation
+		// retries; honour it before burning another attempt.
+		select {
+		case r := <-ct.abortCh:
+			return "deadlock: " + r, true
+		default:
+		}
+
+		sites := s.cfg.Catalog.Sites(op.Doc)
+		if len(sites) == 0 {
+			return reasonFailed, false
+		}
+
+		var res localResult
+		if len(sites) == 1 && sites[0] == s.id {
+			// Algorithm 1, l. 5–10: the operation involves only the
+			// coordinator's site.
+			res = s.processOperation(id, ts, s.id, opIdx, op)
+			ct.sites[s.id] = true
+		} else {
+			// Algorithm 1, l. 12–22: ship the operation to every
+			// participant holding the document (the coordinator included,
+			// if it holds a copy) and wait for all responses.
+			res = s.execRemote(ct, opIdx, op, sites)
+		}
+
+		switch {
+		case res.failed:
+			return reasonFailed, false
+		case res.deadlock:
+			return "deadlock detected while locking", true
+		case res.executed:
+			if op.Kind == txn.OpQuery {
+				ct.results[opIdx] = res.results
+			}
+			ct.t.Ops[opIdx].Executed = true
+			return "", false
+		}
+
+		// Not acquired: wait mode (Algorithm 1, l. 9 / l. 17) until a
+		// wake-up, a victim signal, or the retry safety net.
+		timer := time.NewTimer(s.cfg.RetryInterval)
+		select {
+		case <-ct.wake:
+			timer.Stop()
+		case r := <-ct.abortCh:
+			timer.Stop()
+			return "deadlock: " + r, true
+		case <-timer.C:
+		case <-s.stopCh:
+			timer.Stop()
+			return "site stopping", false
+		}
+	}
+}
+
+// execRemote fans one operation out to all sites holding the document and
+// merges the participant statuses (Algorithm 1, l. 12–22).
+func (s *Site) execRemote(ct *coordTxn, opIdx int, op txn.Operation, sites []int) localResult {
+	id, ts := ct.t.ID, ct.t.TS
+	type siteResult struct {
+		site int
+		res  localResult
+		err  error
+	}
+	results := make([]siteResult, len(sites))
+	var wg sync.WaitGroup
+	for i, site := range sites {
+		ct.sites[site] = true
+		wg.Add(1)
+		go func(i, site int) {
+			defer wg.Done()
+			if site == s.id {
+				results[i] = siteResult{site: site, res: s.processOperation(id, ts, s.id, opIdx, op)}
+				return
+			}
+			s.mu.Lock()
+			s.stats.RemoteOpsSent++
+			s.mu.Unlock()
+			resp, err := s.send(site, transport.ExecOpReq{
+				Txn: id, TS: ts, Coordinator: s.id, OpIdx: opIdx, Op: op,
+			})
+			if err != nil {
+				results[i] = siteResult{site: site, err: err}
+				return
+			}
+			r, ok := resp.(transport.ExecOpResp)
+			if !ok {
+				results[i] = siteResult{site: site, err: fmt.Errorf("unexpected response %T", resp)}
+				return
+			}
+			results[i] = siteResult{site: site, res: localResult{
+				executed: r.Executed,
+				acquired: r.AcquireLocking,
+				deadlock: r.Deadlock,
+				failed:   r.Failed,
+				err:      r.Error,
+				results:  r.Results,
+			}}
+		}(i, site)
+	}
+	wg.Wait()
+
+	merged := localResult{acquired: true, executed: true}
+	anyExecuted := false
+	for _, sr := range results {
+		if sr.err != nil {
+			// Communication failure: the operation fails, the transaction
+			// will be aborted (and may itself fail).
+			merged.failed = true
+			merged.err = sr.err.Error()
+			continue
+		}
+		if sr.res.failed {
+			merged.failed = true
+			merged.err = sr.res.err
+		}
+		if sr.res.deadlock {
+			merged.deadlock = true
+		}
+		if !sr.res.acquired {
+			merged.acquired = false
+		}
+		if sr.res.executed {
+			anyExecuted = true
+			if op.Kind == txn.OpQuery && merged.results == nil {
+				merged.results = sr.res.results
+			}
+		}
+	}
+	merged.executed = merged.acquired && !merged.failed && !merged.deadlock && anyExecuted
+
+	// Algorithm 1, l. 15–17: if the operation did not acquire locks at some
+	// participant, undo it wherever it did execute, then wait.
+	if !merged.failed && !merged.deadlock && !merged.acquired {
+		for _, sr := range results {
+			if sr.err == nil && sr.res.executed {
+				s.undoOpEverywhere(ct.t.ID, opIdx, sr.site)
+			}
+		}
+		// Locks acquired at sites that granted but did not need undo (e.g.
+		// a query that executed) are released by undoOpEverywhere too; for
+		// sites that merely granted locks without executing there is
+		// nothing to release because participant lock acquisition and
+		// execution are atomic under the site mutex.
+	}
+	return merged
+}
+
+// undoOpEverywhere undoes one operation at one site (local or remote).
+func (s *Site) undoOpEverywhere(id txn.ID, opIdx int, site int) {
+	if site == s.id {
+		s.undoOpLocal(id, opIdx)
+		return
+	}
+	_, _ = s.send(site, transport.UndoOpReq{Txn: id, OpIdx: opIdx})
+}
+
+// commitTransaction is Algorithm 5: ask every involved site to consolidate;
+// if any refuses, abort. Returns true if the commit completed.
+func (s *Site) commitTransaction(ct *coordTxn) bool {
+	id := ct.t.ID
+	for site := range ct.sites {
+		if site == s.id {
+			continue
+		}
+		resp, err := s.send(site, transport.CommitReq{Txn: id})
+		ack, _ := resp.(transport.Ack)
+		if err != nil || !ack.OK {
+			// Algorithm 5, l. 5–7: commit rejected — abort the transaction.
+			s.abortTransaction(ct)
+			return false
+		}
+	}
+	// Algorithm 5, l. 10–11: persist locally and release the locks.
+	if err := s.commitLocal(id); err != nil {
+		s.abortTransaction(ct)
+		return false
+	}
+	return true
+}
+
+// abortTransaction is Algorithm 6: ask every involved site to cancel; if a
+// site cannot, escalate to failure everywhere. Returns true if the abort
+// completed cleanly (false means the transaction failed).
+func (s *Site) abortTransaction(ct *coordTxn) bool {
+	id := ct.t.ID
+	for site := range ct.sites {
+		if site == s.id {
+			continue
+		}
+		resp, err := s.send(site, transport.AbortReq{Txn: id})
+		ack, _ := resp.(transport.Ack)
+		if err != nil || !ack.OK {
+			// Algorithm 6, l. 5–10: cancellation impossible somewhere —
+			// the transaction fails everywhere.
+			s.failTransaction(ct)
+			return false
+		}
+	}
+	_ = s.abortLocal(id)
+	return true
+}
+
+// failTransaction broadcasts failure (Algorithm 6, l. 6–9).
+func (s *Site) failTransaction(ct *coordTxn) {
+	id := ct.t.ID
+	for site := range ct.sites {
+		if site == s.id {
+			continue
+		}
+		_, _ = s.send(site, transport.FailReq{Txn: id})
+	}
+	s.failLocal(id)
+}

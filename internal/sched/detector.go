@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/wfg"
+)
+
+// detectorLoop runs the periodic distributed deadlock check: "DTX has a
+// process in the scheduler that periodically recovers the wait-for graphs
+// from all the sites and checks for deadlocks".
+func (s *Site) detectorLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.DeadlockInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			s.CheckDeadlocks()
+		}
+	}
+}
+
+// CheckDeadlocks is Algorithm 4 (process_deadlock_detection): union the
+// wait-for graphs of all sites; if the union has a circle, abort the most
+// recently started transaction in it. Returns true if a deadlock was found
+// and a victim signalled.
+//
+// Because victim selection is deterministic (newest timestamp, ties broken
+// by transaction ID), several sites running the check concurrently converge
+// on the same victim; duplicate victim signals are idempotent.
+func (s *Site) CheckDeadlocks() bool {
+	union := wfg.New()
+	// Collect the local graphs first (Algorithm 4 walks all sites; the site
+	// running the check contributes its own lock managers' graphs without
+	// messaging).
+	s.mu.Lock()
+	union.Union(s.localEdgesLocked())
+	s.mu.Unlock()
+
+	for _, site := range s.cfg.Sites {
+		if site == s.id {
+			continue
+		}
+		resp, err := s.send(site, transport.WFGReq{})
+		if err != nil {
+			// An unreachable site contributes no edges this round; its
+			// cycles will be found when it answers again.
+			continue
+		}
+		if g, ok := resp.(transport.WFGResp); ok {
+			union.Union(g.Edges)
+		}
+		// Check after each union so the first circle found is handled
+		// immediately (Algorithm 4 checks inside the loop).
+		if s.resolveCycle(union) {
+			return true
+		}
+	}
+	return s.resolveCycle(union)
+}
+
+// resolveCycle looks for a circle in the union graph and, if found, directs
+// the victim's coordinator to abort it.
+func (s *Site) resolveCycle(union *wfg.Graph) bool {
+	cycle := union.FindCycle()
+	if cycle == nil {
+		return false
+	}
+	var victim txn.ID
+	if s.cfg.VictimOldest {
+		victim = union.OldestInCycle(cycle)
+	} else {
+		victim = union.NewestInCycle(cycle)
+	}
+	s.mu.Lock()
+	s.stats.DistDeadlocks++
+	s.mu.Unlock()
+	s.signalVictim(victim, "distributed deadlock victim")
+	return true
+}
+
+// signalVictim routes the abort order to the victim's coordinator — the
+// site embedded in the transaction ID.
+func (s *Site) signalVictim(victim txn.ID, reason string) {
+	if victim == txn.Zero {
+		return
+	}
+	if victim.Site == s.id {
+		s.signalAbort(victim, reason)
+		return
+	}
+	_, _ = s.send(victim.Site, transport.VictimReq{Txn: victim, Reason: reason})
+}

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/txn"
+	"repro/internal/xmltree"
+	"repro/internal/xupdate"
+)
+
+// TestCommitJournaling: a committed update produces an intent + commit pair
+// in the journal, an aborted one produces nothing, and recovery over the
+// resulting journal reports no in-doubt transactions.
+func TestCommitJournaling(t *testing.T) {
+	dir := t.TempDir()
+	journal, err := store.OpenJournal(filepath.Join(dir, "commit.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, _ := newCluster(t, 1, func(c *Config) { c.Journal = journal })
+	s := sites[0]
+	addDoc(t, s, "d2", productsXML)
+
+	res, err := s.Submit([]txn.Operation{
+		txn.NewUpdate("d2", &xupdate.Update{Kind: xupdate.Insert, Target: "/products",
+			Pos: xmltree.Into, New: productSpec("13", "Mouse", "10.30")}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != txn.Committed {
+		t.Fatalf("state = %v", res.State)
+	}
+
+	// A failed transaction (missing doc) must not journal anything.
+	if _, err := s.Submit([]txn.Operation{txn.NewQuery("ghost", "/x")}); err != nil {
+		t.Fatal(err)
+	}
+	// A read-only transaction persists nothing, so no journal records.
+	if _, err := s.Submit([]txn.Operation{txn.NewQuery("d2", "//product")}); err != nil {
+		t.Fatal(err)
+	}
+	journal.Close()
+
+	inDoubt, err := store.Recover(journal.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 0 {
+		t.Fatalf("in doubt after clean run: %+v", inDoubt)
+	}
+}
+
+// TestRecoveryDetectsTornCommit simulates a crash between the intent record
+// and the commit record: recovery flags the transaction.
+func TestRecoveryDetectsTornCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "commit.log")
+	journal, err := store.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write the intent by hand, as if the site crashed mid-persist.
+	if err := journal.LogIntent("t0.7", []string{"d2"}); err != nil {
+		t.Fatal(err)
+	}
+	journal.Close()
+
+	inDoubt, err := store.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 1 || inDoubt[0].Txn != "t0.7" || inDoubt[0].Docs[0] != "d2" {
+		t.Fatalf("in doubt = %+v", inDoubt)
+	}
+
+	// A restarted site over the same store can reload its documents and
+	// resume service while the in-doubt set is resolved out of band.
+	st := store.NewMemStore()
+	doc, _ := xmltree.ParseString("d2", productsXML)
+	if err := st.Save(doc); err != nil {
+		t.Fatal(err)
+	}
+	sites, _ := newCluster(t, 1, func(c *Config) { c.Store = st })
+	if err := sites[0].LoadDocument("d2"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sites[0].Submit([]txn.Operation{txn.NewQuery("d2", "//product")})
+	if err != nil || res.State != txn.Committed {
+		t.Fatalf("restarted site not serving: %v %v", err, res)
+	}
+}
+
+// TestBootstrap: a restarted site recovers every stored document and
+// reports journal in-doubt transactions.
+func TestBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"d1", "d2"} {
+		doc, _ := xmltree.ParseString(name, peopleXML)
+		if err := st.Save(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	journal, err := store.OpenJournal(filepath.Join(dir, "commit.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := journal.LogIntent("t0.3", []string{"d1"}); err != nil {
+		t.Fatal(err)
+	}
+	journal.Close()
+	journal2, err := store.OpenJournal(filepath.Join(dir, "commit.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, _ := newCluster(t, 1, func(c *Config) {
+		c.Store = st
+		c.Journal = journal2
+	})
+	inDoubt, err := sites[0].Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inDoubt) != 1 || inDoubt[0].Txn != "t0.3" {
+		t.Fatalf("in doubt = %+v", inDoubt)
+	}
+	if got := len(sites[0].Documents()); got != 2 {
+		t.Fatalf("recovered %d documents", got)
+	}
+	res, err := sites[0].Submit([]txn.Operation{txn.NewQuery("d2", "//person")})
+	if err != nil || res.State != txn.Committed {
+		t.Fatalf("recovered site not serving: %v %+v", err, res)
+	}
+}

@@ -1,0 +1,357 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lock"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/wfg"
+	"repro/internal/xpath"
+	"repro/internal/xupdate"
+)
+
+// localResult is the outcome of one lock-manager operation attempt —
+// Algorithm 3's return enriched with the status flags Algorithm 2 tags onto
+// remote operations.
+type localResult struct {
+	executed  bool
+	acquired  bool
+	deadlock  bool
+	failed    bool
+	err       string
+	results   []string
+	conflicts []lock.Conflict
+}
+
+// handleExecOp processes one remote operation shipped by a coordinator —
+// the body of Algorithm 2's loop for a single dequeued remote operation.
+func (s *Site) handleExecOp(req transport.ExecOpReq) transport.ExecOpResp {
+	s.mu.Lock()
+	s.clock.Observe(req.TS)
+	s.stats.RemoteOpsProcessed++
+	s.mu.Unlock()
+
+	res := s.processOperation(req.Txn, req.TS, req.Coordinator, req.OpIdx, req.Op)
+	resp := transport.ExecOpResp{
+		Site:           s.id,
+		Executed:       res.executed,
+		AcquireLocking: res.acquired,
+		Deadlock:       res.deadlock,
+		Failed:         res.failed,
+		Error:          res.err,
+		Results:        res.results,
+	}
+	for _, c := range res.conflicts {
+		resp.Conflicts = append(resp.Conflicts, transport.Conflict{Txn: c.Txn, TS: c.TS})
+	}
+	return resp
+}
+
+// processOperation is Algorithm 3 (process_operation): acquire the locks the
+// protocol demands for the operation; on success execute it against the
+// in-memory document; on conflict add wait-for edges and check for a local
+// deadlock; partial effects of a failed attempt are undone before returning.
+func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op txn.Operation) localResult {
+	s.mu.Lock()
+
+	ds := s.docs[op.Doc]
+	if ds == nil {
+		s.mu.Unlock()
+		return localResult{failed: true, err: fmt.Sprintf("site %d does not hold document %q", s.id, op.Doc)}
+	}
+
+	// Register participant-side state so commit/abort can find this
+	// transaction even if it never acquires a single lock here.
+	pt := s.part[id]
+	if pt == nil {
+		pt = &partTxn{
+			id:          id,
+			ts:          ts,
+			coordinator: coordinator,
+			undo:        make(map[int][]undoEntry),
+			docs:        make(map[string]bool),
+		}
+		s.part[id] = pt
+		s.coordOf[id] = coordinator
+	}
+	pt.docs[op.Doc] = true
+
+	// Translate the operation into lock requests under the configured
+	// protocol.
+	var reqs []lock.Request
+	var q *xpath.Query
+	var err error
+	switch op.Kind {
+	case txn.OpQuery:
+		q, err = xpath.Parse(op.Query)
+		if err == nil {
+			reqs, err = s.cfg.Protocol.QueryRequests(ds.doc, ds.guide, q)
+		}
+	case txn.OpUpdate:
+		reqs, err = s.cfg.Protocol.UpdateRequests(ds.doc, ds.guide, op.Update)
+	default:
+		err = fmt.Errorf("unknown operation kind %d", op.Kind)
+	}
+	if err != nil {
+		s.mu.Unlock()
+		return localResult{failed: true, err: err.Error()}
+	}
+
+	conflicts := ds.table.Acquire(lock.Owner{Txn: id, TS: ts, Op: opIdx}, reqs)
+	if len(conflicts) > 0 {
+		// Algorithm 3, l. 8: link the conflicting transactions in the
+		// wait-for graph, then check whether the new edges close a circle
+		// through this transaction. Stale edges from a previous attempt of
+		// the same operation are replaced by the fresh conflict set.
+		s.stats.OpConflicts++
+		ds.graph.ClearWaiter(id)
+		for _, c := range conflicts {
+			ds.graph.AddEdge(id, ts, c.Txn, c.TS)
+		}
+		deadlock := ds.graph.CycleThrough(id) != nil
+		if deadlock {
+			s.stats.LocalDeadlocks++
+		}
+		s.mu.Unlock()
+		return localResult{acquired: false, deadlock: deadlock, conflicts: conflicts}
+	}
+
+	// Locks granted: the transaction is no longer waiting on anybody here.
+	ds.graph.ClearWaiter(id)
+	s.stats.LocksAcquired += int64(len(reqs))
+	if s.cfg.History != nil {
+		grants := make([]GrantInfo, 0, len(reqs))
+		for _, r := range reqs {
+			if r.Node != nil || r.DocNode != nil {
+				grants = append(grants, GrantInfo{Path: r.Path(), Mode: r.Mode})
+			}
+		}
+		s.cfg.History.OnAcquired(s.id, id, opIdx, op.Doc, op.Kind == txn.OpUpdate, grants)
+	}
+
+	// Execute the operation against the main-memory representation.
+	var out localResult
+	out.acquired = true
+	switch op.Kind {
+	case txn.OpQuery:
+		out.results = xpath.EvalStrings(q, ds.doc)
+		out.executed = true
+	case txn.OpUpdate:
+		rec, _, aerr := xupdate.Apply(op.Update, ds.doc, ds.guide)
+		if aerr != nil {
+			// The update itself failed (not a lock problem): Algorithm 2
+			// l. 10–11 tags the operation for abort.
+			out.failed = true
+			out.err = aerr.Error()
+		} else {
+			pt.undo[opIdx] = append(pt.undo[opIdx], undoEntry{doc: op.Doc, rec: rec})
+			ds.dirty[id] = true
+			out.executed = true
+		}
+	}
+	if out.executed {
+		s.stats.OpsExecuted++
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// undoOpLocal undoes the effects of one operation of a transaction and
+// releases the locks that operation acquired (Algorithm 1, l. 16: an
+// operation that could not lock everywhere is undone wherever it ran).
+func (s *Site) undoOpLocal(id txn.ID, opIdx int) {
+	s.mu.Lock()
+	pt := s.part[id]
+	if pt != nil {
+		entries := pt.undo[opIdx]
+		for i := len(entries) - 1; i >= 0; i-- {
+			e := entries[i]
+			if ds := s.docs[e.doc]; ds != nil {
+				// Undo failures here would mean corrupted undo state; the
+				// tree operations involved cannot fail on records produced
+				// by a successful apply.
+				if err := e.rec.Undo(ds.doc, ds.guide); err != nil {
+					panic(fmt.Sprintf("sched: undo of %s op %d failed: %v", id, opIdx, err))
+				}
+			}
+		}
+		delete(pt.undo, opIdx)
+	}
+	var released int
+	for _, ds := range s.docs {
+		released += ds.table.ReleaseOp(id, opIdx)
+	}
+	wake := s.wakeTargetsLocked(id)
+	if s.cfg.History != nil {
+		s.cfg.History.OnUndone(s.id, id, opIdx)
+	}
+	s.mu.Unlock()
+	if released > 0 {
+		s.notifyWaiters(wake)
+	}
+}
+
+// wakeTargetsLocked collects, across every document's lock manager, the
+// transactions waiting on id together with their coordinator sites, and
+// removes the satisfied wait edges. Callers hold s.mu; the returned map is
+// consumed by notifyWaiters outside the lock (transport sends must never
+// happen under the site mutex).
+func (s *Site) wakeTargetsLocked(id txn.ID) map[txn.ID]int {
+	var out map[txn.ID]int
+	for _, ds := range s.docs {
+		for _, w := range ds.graph.Waiters(id) {
+			ds.graph.RemoveEdge(w, id)
+			coordSite, ok := s.coordOf[w]
+			if !ok {
+				coordSite = w.Site // transaction IDs embed their coordinator
+			}
+			if out == nil {
+				out = make(map[txn.ID]int)
+			}
+			out[w] = coordSite
+		}
+	}
+	return out
+}
+
+// localEdgesLocked snapshots the union of this site's per-document wait-for
+// graphs — the site's contribution to Algorithm 4. Callers hold s.mu.
+func (s *Site) localEdgesLocked() []wfg.Edge {
+	var out []wfg.Edge
+	for _, ds := range s.docs {
+		out = append(out, ds.graph.Edges()...)
+	}
+	return out
+}
+
+// notifyWaiters delivers wake-ups: "when a transaction commits, those that
+// entered wait mode waiting for the locks of the one that committed, start
+// executing again".
+func (s *Site) notifyWaiters(targets map[txn.ID]int) {
+	// Deterministic order keeps tests stable.
+	ids := make([]txn.ID, 0, len(targets))
+	for id := range targets {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	for _, id := range ids {
+		coordSite := targets[id]
+		if coordSite == s.id {
+			s.signalWake(id)
+			continue
+		}
+		// Best effort: a lost wake-up is recovered by the retry interval.
+		go func(site int, id txn.ID) {
+			_, _ = s.send(site, transport.WakeReq{Txn: id})
+		}(coordSite, id)
+	}
+}
+
+// commitLocal consolidates a transaction at this site: persist its changes
+// through the DataManager and release its locks (Algorithm 5, l. 10–11).
+func (s *Site) commitLocal(id txn.ID) error {
+	s.mu.Lock()
+	pt := s.part[id]
+	var toPersist []*docState
+	if pt != nil {
+		for name := range pt.docs {
+			if ds := s.docs[name]; ds != nil && ds.dirty[id] {
+				toPersist = append(toPersist, ds)
+			}
+		}
+	}
+	// Persist before releasing locks: the lock set still protects the
+	// modified regions, so the snapshot written is the committed state. With
+	// a journal configured, an intent record precedes the persists and a
+	// commit record seals them, so a crash in between is detectable.
+	if s.cfg.Journal != nil && len(toPersist) > 0 {
+		docs := make([]string, len(toPersist))
+		for i, ds := range toPersist {
+			docs[i] = ds.doc.Name
+		}
+		if err := s.cfg.Journal.LogIntent(id.String(), docs); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("sched: journal intent: %w", err)
+		}
+	}
+	for _, ds := range toPersist {
+		if err := s.cfg.Store.Save(ds.doc); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("sched: persist %s: %w", ds.doc.Name, err)
+		}
+		delete(ds.dirty, id)
+	}
+	if s.cfg.Journal != nil && len(toPersist) > 0 {
+		if err := s.cfg.Journal.LogCommit(id.String()); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("sched: journal commit: %w", err)
+		}
+	}
+	for _, ds := range s.docs {
+		ds.table.ReleaseAll(id)
+	}
+	// Capture waiters before dropping the transaction from the graphs, so
+	// exactly those that were blocked on it are woken.
+	wake := s.wakeTargetsLocked(id)
+	for _, ds := range s.docs {
+		ds.graph.RemoveTxn(id)
+	}
+	delete(s.part, id)
+	delete(s.coordOf, id)
+	s.mu.Unlock()
+	s.notifyWaiters(wake)
+	return nil
+}
+
+// abortLocal cancels a transaction at this site: undo every operation in
+// reverse order and release all locks (Algorithm 6, l. 13–14).
+func (s *Site) abortLocal(id txn.ID) error {
+	s.mu.Lock()
+	pt := s.part[id]
+	if pt != nil {
+		// Undo operations newest-first.
+		var opIdxs []int
+		for idx := range pt.undo {
+			opIdxs = append(opIdxs, idx)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(opIdxs)))
+		for _, idx := range opIdxs {
+			entries := pt.undo[idx]
+			for i := len(entries) - 1; i >= 0; i-- {
+				e := entries[i]
+				if ds := s.docs[e.doc]; ds != nil {
+					if err := e.rec.Undo(ds.doc, ds.guide); err != nil {
+						panic(fmt.Sprintf("sched: undo of %s op %d failed: %v", id, idx, err))
+					}
+				}
+			}
+		}
+		for name := range pt.docs {
+			if ds := s.docs[name]; ds != nil {
+				delete(ds.dirty, id)
+			}
+		}
+	}
+	for _, ds := range s.docs {
+		ds.table.ReleaseAll(id)
+	}
+	wake := s.wakeTargetsLocked(id)
+	for _, ds := range s.docs {
+		ds.graph.RemoveTxn(id)
+	}
+	delete(s.part, id)
+	delete(s.coordOf, id)
+	s.mu.Unlock()
+	s.notifyWaiters(wake)
+	return nil
+}
+
+// failLocal marks a transaction failed at this site. The paper's failure
+// path (Algorithm 6, l. 6–9) gives up on clean cancellation; locally we
+// still undo what we can and release locks so the site stays usable — the
+// distinction from abort is the reported client outcome.
+func (s *Site) failLocal(id txn.ID) {
+	_ = s.abortLocal(id)
+}

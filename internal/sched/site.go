@@ -1,0 +1,438 @@
+// Package sched implements the DTX instance that runs at every site: the
+// Listener, the TransactionManager (Scheduler + LockManager) and the
+// DataManager of Fig. 1, together with the six algorithms of §2.3 —
+// coordinator transaction processing (Alg. 1), participant remote-operation
+// processing (Alg. 2), lock-manager operation processing (Alg. 3),
+// distributed deadlock detection (Alg. 4), distributed commit (Alg. 5) and
+// distributed abort (Alg. 6).
+//
+// Concurrency model: the paper's Algorithm 1 is a scheduler loop that
+// multiplexes transactions from a queue; here each client transaction runs
+// in its submitting goroutine and the per-site mutex serialises lock-manager
+// and document state, which yields the same histories (operations of one
+// transaction are sequential; operations of different transactions
+// interleave only at lock-manager granularity) in idiomatic Go.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataguide"
+	"repro/internal/lock"
+	"repro/internal/replica"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/wfg"
+	"repro/internal/xmltree"
+	"repro/internal/xupdate"
+)
+
+// Config configures one DTX site instance.
+type Config struct {
+	// SiteID is this site's identifier; transaction IDs embed it, so it
+	// doubles as the coordinator address of every transaction started here.
+	SiteID int
+	// Sites lists every site in the system, for deadlock detection sweeps.
+	Sites []int
+	// Protocol is the concurrency-control protocol (default XDGL).
+	Protocol lock.Protocol
+	// Catalog maps documents to the sites holding replicas.
+	Catalog *replica.Catalog
+	// Store is the persistence backend (default in-memory).
+	Store store.Store
+	// DeadlockInterval is the period of the distributed deadlock detector;
+	// zero disables the background process (tests drive CheckDeadlocks
+	// directly).
+	DeadlockInterval time.Duration
+	// RetryInterval bounds how long a waiting transaction sleeps before
+	// re-attempting lock acquisition if no wake-up arrives (safety net).
+	RetryInterval time.Duration
+	// OpDelay inserts a pause between consecutive operations of a
+	// transaction, modelling client think time. The evaluation workloads
+	// use it to create the contention windows the paper's experiments
+	// exhibit; tests use it to build deterministic interleavings.
+	OpDelay time.Duration
+	// History, when set, receives lock-footprint events for offline
+	// serializability checking (see internal/harness). All sites of a
+	// cluster share one hook so the event order is globally consistent.
+	History HistoryHook
+	// VictimOldest switches the distributed deadlock victim rule from the
+	// paper's "most recent transaction in the circle" to the oldest — an
+	// ablation knob; both rules guarantee progress.
+	VictimOldest bool
+	// Journal, when set, write-ahead logs every local commit (intent before
+	// persisting, commit after) so a restarted site can detect in-doubt
+	// transactions — the durability direction of the paper's future work.
+	Journal *store.Journal
+}
+
+// GrantInfo describes one granted lock for history recording.
+type GrantInfo struct {
+	Path string
+	Mode lock.Mode
+}
+
+// HistoryHook observes committed-history-relevant events. Implementations
+// must be safe for concurrent use; calls may occur under site mutexes, so
+// hooks must not call back into the site.
+type HistoryHook interface {
+	// OnAcquired fires when an operation's locks are granted at a site,
+	// with the operation's full lock footprint.
+	OnAcquired(site int, id txn.ID, op int, doc string, write bool, grants []GrantInfo)
+	// OnUndone fires when an operation is undone at a site (its footprint
+	// there no longer counts).
+	OnUndone(site int, id txn.ID, op int)
+	// OnFinished fires once per transaction at its coordinator.
+	OnFinished(id txn.ID, committed bool)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Protocol == nil {
+		c.Protocol = lock.XDGL{}
+	}
+	if c.Catalog == nil {
+		c.Catalog = replica.NewCatalog()
+	}
+	if c.Store == nil {
+		c.Store = store.NewMemStore()
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 25 * time.Millisecond
+	}
+	if len(c.Sites) == 0 {
+		c.Sites = []int{c.SiteID}
+	}
+	return c
+}
+
+// Stats counts site-level events; all counters are monotonic.
+type Stats struct {
+	TxnsCommitted      int64
+	TxnsAborted        int64
+	TxnsFailed         int64
+	DeadlockAborts     int64 // transactions aborted because of a deadlock
+	LocalDeadlocks     int64 // cycles found while adding a wait edge (Alg. 3)
+	DistDeadlocks      int64 // cycles found by the periodic detector (Alg. 4)
+	OpsExecuted        int64
+	OpConflicts        int64 // lock acquisition failures
+	RemoteOpsSent      int64
+	RemoteOpsProcessed int64
+	LocksAcquired      int64
+}
+
+// docState bundles the in-memory representation of one document at a site:
+// the tree, its DataGuide, the lock table over the DataGuide, and the
+// wait-for graph of that lock manager. The graph is per lock manager (not
+// per site): in §2.4 both wait edges of the cross-document deadlock arise at
+// site s2 but in different documents' lock managers, and the paper resolves
+// the cycle with the *periodic distributed* check, not the local one —
+// which is only possible if the local graphs are disjoint per document.
+type docState struct {
+	doc   *xmltree.Document
+	guide *dataguide.DataGuide
+	table *lock.Table
+	graph *wfg.Graph
+	dirty map[txn.ID]bool // transactions with unpersisted changes
+}
+
+// undoEntry is one applied update of one operation, with its inverse.
+type undoEntry struct {
+	doc string
+	rec *xupdate.UndoRec
+}
+
+// partTxn is the participant-side record of a transaction that has executed
+// (or tried to execute) operations at this site. The coordinator's own site
+// keeps one too, so commit/abort treat all sites uniformly.
+type partTxn struct {
+	id          txn.ID
+	ts          txn.TS
+	coordinator int
+	undo        map[int][]undoEntry // op index -> applied updates
+	docs        map[string]bool     // documents touched here
+}
+
+// coordTxn is the coordinator-side state of a transaction submitted here.
+type coordTxn struct {
+	t       *txn.Transaction
+	wake    chan struct{}
+	abortCh chan string
+	sites   map[int]bool // sites that received at least one operation
+	results [][]string
+}
+
+// Result is what a client gets back for a submitted transaction.
+type Result struct {
+	Txn     txn.ID
+	State   txn.State
+	Results [][]string // per-operation query results
+	Reason  string     // why the transaction aborted or failed
+}
+
+// Site is one DTX instance. Create with New, attach to a transport with
+// Attach (or AttachTCP via cmd/dtxd), then Submit transactions.
+type Site struct {
+	cfg Config
+	id  int
+
+	mu      sync.Mutex
+	clock   txn.Clock
+	seq     int64
+	docs    map[string]*docState
+	coord   map[txn.ID]*coordTxn
+	part    map[txn.ID]*partTxn
+	coordOf map[txn.ID]int // any transaction seen here -> its coordinator site
+	stats   Stats
+
+	node   transport.Node
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New creates a site instance. Documents must be loaded with LoadDocument
+// or AddDocument before transactions touch them.
+func New(cfg Config) *Site {
+	cfg = cfg.withDefaults()
+	return &Site{
+		cfg:     cfg,
+		id:      cfg.SiteID,
+		docs:    make(map[string]*docState),
+		coord:   make(map[txn.ID]*coordTxn),
+		part:    make(map[txn.ID]*partTxn),
+		coordOf: make(map[txn.ID]int),
+		stopCh:  make(chan struct{}),
+	}
+}
+
+// ID returns the site identifier.
+func (s *Site) ID() int { return s.id }
+
+// Protocol returns the concurrency-control protocol in use.
+func (s *Site) Protocol() lock.Protocol { return s.cfg.Protocol }
+
+// Catalog returns the replica catalog the site routes with.
+func (s *Site) Catalog() *replica.Catalog { return s.cfg.Catalog }
+
+// Attach connects the site to a transport network endpoint and, if a
+// deadlock interval is configured, starts the periodic detector.
+func (s *Site) Attach(join func(transport.Handler) (transport.Node, error)) error {
+	node, err := join(transport.HandlerFunc(s.HandleMessage))
+	if err != nil {
+		return err
+	}
+	s.node = node
+	if s.cfg.DeadlockInterval > 0 {
+		s.wg.Add(1)
+		go s.detectorLoop()
+	}
+	return nil
+}
+
+// AttachNetwork joins an in-process network.
+func (s *Site) AttachNetwork(net *transport.Network) error {
+	return s.Attach(func(h transport.Handler) (transport.Node, error) {
+		return net.Join(s.id, h)
+	})
+}
+
+// Stop terminates background processes and detaches from the network.
+func (s *Site) Stop() {
+	select {
+	case <-s.stopCh:
+	default:
+		close(s.stopCh)
+	}
+	s.wg.Wait()
+	if s.node != nil {
+		s.node.Close()
+	}
+}
+
+// Stats returns a snapshot of the site's counters.
+func (s *Site) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// AddDocument installs a document at this site (in memory and in the store)
+// and registers it in the catalog for this site if absent.
+func (s *Site) AddDocument(doc *xmltree.Document) error {
+	if err := s.cfg.Store.Save(doc); err != nil {
+		return err
+	}
+	g := dataguide.Build(doc)
+	s.mu.Lock()
+	s.docs[doc.Name] = &docState{
+		doc:   doc,
+		guide: g,
+		table: lock.NewTable(g),
+		graph: wfg.New(),
+		dirty: make(map[txn.ID]bool),
+	}
+	s.mu.Unlock()
+	if !s.cfg.Catalog.Holds(doc.Name, s.id) {
+		sites := append(s.cfg.Catalog.Sites(doc.Name), s.id)
+		s.cfg.Catalog.Place(doc.Name, sites...)
+	}
+	return nil
+}
+
+// LoadDocument recovers a document from the storage structure into memory —
+// the DataManager role of Fig. 1 — and registers this site as a holder in
+// the catalog.
+func (s *Site) LoadDocument(name string) error {
+	doc, err := s.cfg.Store.Load(name)
+	if err != nil {
+		return err
+	}
+	g := dataguide.Build(doc)
+	s.mu.Lock()
+	s.docs[name] = &docState{
+		doc:   doc,
+		guide: g,
+		table: lock.NewTable(g),
+		graph: wfg.New(),
+		dirty: make(map[txn.ID]bool),
+	}
+	s.mu.Unlock()
+	if !s.cfg.Catalog.Holds(name, s.id) {
+		s.cfg.Catalog.Place(name, append(s.cfg.Catalog.Sites(name), s.id)...)
+	}
+	return nil
+}
+
+// Bootstrap loads every document present in the site's store into memory
+// (the DataManager recovering state after a restart) and, when a journal is
+// configured, returns the in-doubt transactions found in it — transactions
+// whose persistence may be partial and must be resolved against their
+// coordinators before their documents are trusted.
+func (s *Site) Bootstrap() ([]store.InDoubt, error) {
+	names, err := s.cfg.Store.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if err := s.LoadDocument(name); err != nil {
+			return nil, err
+		}
+	}
+	if s.cfg.Journal == nil {
+		return nil, nil
+	}
+	return store.Recover(s.cfg.Journal.Path())
+}
+
+// Document returns a deep copy of the current in-memory document, for
+// inspection by tests and tools without racing the schedulers.
+func (s *Site) Document(name string) (*xmltree.Document, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ds := s.docs[name]
+	if ds == nil {
+		return nil, fmt.Errorf("sched: site %d does not hold %q", s.id, name)
+	}
+	return ds.doc.Clone(), nil
+}
+
+// Documents lists the documents held in memory at this site.
+func (s *Site) Documents() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.docs))
+	for name := range s.docs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// HandleMessage implements the Listener role: "receive, handle and forward
+// the requests from other schedulers to the DTX scheduler".
+func (s *Site) HandleMessage(from int, msg any) (any, error) {
+	switch m := msg.(type) {
+	case transport.ExecOpReq:
+		return s.handleExecOp(m), nil
+	case transport.UndoOpReq:
+		s.undoOpLocal(m.Txn, m.OpIdx)
+		return transport.Ack{OK: true}, nil
+	case transport.CommitReq:
+		err := s.commitLocal(m.Txn)
+		if err != nil {
+			return transport.Ack{OK: false, Error: err.Error()}, nil
+		}
+		return transport.Ack{OK: true}, nil
+	case transport.AbortReq:
+		err := s.abortLocal(m.Txn)
+		if err != nil {
+			return transport.Ack{OK: false, Error: err.Error()}, nil
+		}
+		return transport.Ack{OK: true}, nil
+	case transport.FailReq:
+		s.failLocal(m.Txn)
+		return transport.Ack{OK: true}, nil
+	case transport.WFGReq:
+		s.mu.Lock()
+		edges := s.localEdgesLocked()
+		s.mu.Unlock()
+		return transport.WFGResp{Edges: edges}, nil
+	case transport.VictimReq:
+		s.signalAbort(m.Txn, m.Reason)
+		return transport.Ack{OK: true}, nil
+	case transport.WakeReq:
+		s.signalWake(m.Txn)
+		return transport.Ack{OK: true}, nil
+	case transport.SubmitReq:
+		res, err := s.Submit(m.Ops)
+		if err != nil {
+			return transport.SubmitResp{Error: err.Error()}, nil
+		}
+		return transport.SubmitResp{
+			Txn:     res.Txn,
+			State:   res.State.String(),
+			Results: res.Results,
+			Error:   res.Reason,
+		}, nil
+	default:
+		return nil, fmt.Errorf("sched: site %d: unknown message %T", s.id, msg)
+	}
+}
+
+// signalWake nudges a coordinator-side transaction out of wait mode.
+func (s *Site) signalWake(id txn.ID) {
+	s.mu.Lock()
+	ct := s.coord[id]
+	s.mu.Unlock()
+	if ct == nil {
+		return
+	}
+	select {
+	case ct.wake <- struct{}{}:
+	default:
+	}
+}
+
+// signalAbort delivers a deadlock-victim signal to a coordinator-side
+// transaction.
+func (s *Site) signalAbort(id txn.ID, reason string) {
+	s.mu.Lock()
+	ct := s.coord[id]
+	s.mu.Unlock()
+	if ct == nil {
+		return
+	}
+	select {
+	case ct.abortCh <- reason:
+	default:
+	}
+}
+
+// send delivers a message to a peer site (never to self).
+func (s *Site) send(to int, msg any) (any, error) {
+	if s.node == nil {
+		return nil, fmt.Errorf("sched: site %d is not attached to a network", s.id)
+	}
+	return s.node.Send(to, msg)
+}

@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/replica"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/xmltree"
+	"repro/internal/xupdate"
+)
+
+// newTCPCluster wires two sites over real TCP sockets, as cmd/dtxd does,
+// returning the sites and their listen addresses.
+func newTCPCluster(t *testing.T) ([]*Site, []string) {
+	t.Helper()
+	catalog := replica.NewCatalog()
+	sites := make([]*Site, 2)
+	nodes := make([]*transport.TCPNode, 2)
+	for i := range sites {
+		sites[i] = New(Config{
+			SiteID:        i,
+			Sites:         []int{0, 1},
+			Catalog:       catalog,
+			RetryInterval: 5 * time.Millisecond,
+		})
+		s := sites[i]
+		if err := s.Attach(func(h transport.Handler) (transport.Node, error) {
+			n, err := transport.ListenTCP(s.ID(), "127.0.0.1:0", h)
+			if err != nil {
+				return nil, err
+			}
+			nodes[s.ID()] = n
+			return n, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes[0].SetPeer(1, nodes[1].Addr())
+	nodes[1].SetPeer(0, nodes[0].Addr())
+	t.Cleanup(func() {
+		for _, s := range sites {
+			s.Stop()
+		}
+	})
+	return sites, []string{nodes[0].Addr(), nodes[1].Addr()}
+}
+
+func TestTCPDistributedTransaction(t *testing.T) {
+	sites, _ := newTCPCluster(t)
+	addDoc(t, sites[0], "d1", peopleXML)
+	addDoc(t, sites[1], "d1", peopleXML)
+	addDoc(t, sites[1], "d2", productsXML)
+
+	// A transaction from site 0 touching both documents: the replicated d1
+	// update fans out over TCP; the d2 query is remote-only.
+	res, err := sites[0].Submit([]txn.Operation{
+		txn.NewUpdate("d1", &xupdate.Update{Kind: xupdate.Insert, Target: "/people",
+			Pos: xmltree.Into, New: personSpec("99", "Remote")}),
+		txn.NewQuery("d2", "//product[id='4']/description"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != txn.Committed {
+		t.Fatalf("state = %v (%s)", res.State, res.Reason)
+	}
+	if len(res.Results[1]) != 1 || res.Results[1][0] != "Chair" {
+		t.Fatalf("remote query = %v", res.Results[1])
+	}
+	for i, s := range sites {
+		doc, err := s.Document("d1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(doc.Root.Children) != 3 {
+			t.Fatalf("site %d persons = %d", i, len(doc.Root.Children))
+		}
+	}
+}
+
+func TestTCPClientSubmitMessage(t *testing.T) {
+	sites, addrs := newTCPCluster(t)
+	addDoc(t, sites[0], "d1", peopleXML)
+	addDoc(t, sites[1], "d1", peopleXML)
+
+	// A dtxctl-style client: its own TCP endpoint, submitting transactions
+	// to site 0's Listener over the wire.
+	client, err := transport.ListenTCP(1<<20, "127.0.0.1:0",
+		transport.HandlerFunc(func(from int, msg any) (any, error) {
+			return transport.Ack{OK: true}, nil
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetPeer(0, addrs[0])
+
+	resp, err := client.Send(0, transport.SubmitReq{
+		Ops: []txn.Operation{txn.NewQuery("d1", "//person/name")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, ok := resp.(transport.SubmitResp)
+	if !ok || sub.State != "committed" {
+		t.Fatalf("submit response = %#v", resp)
+	}
+	if len(sub.Results[0]) != 2 {
+		t.Fatalf("results = %v", sub.Results)
+	}
+}
+
+func TestTCPWFGCollection(t *testing.T) {
+	sites, _ := newTCPCluster(t)
+	addDoc(t, sites[1], "d2", productsXML)
+	// No waiting transactions: the sweep must report no deadlock, and the
+	// WFG pull over TCP must succeed.
+	if found := sites[0].CheckDeadlocks(); found {
+		t.Fatal("phantom deadlock")
+	}
+	resp, err := sites[0].HandleMessage(1, transport.WFGReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, ok := resp.(transport.WFGResp); !ok || len(g.Edges) != 0 {
+		t.Fatalf("wfg = %#v", resp)
+	}
+}

@@ -1,0 +1,152 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Journal is a write-ahead commit log for multi-document transactions —
+// the durability/atomicity direction the paper defers to future work ("the
+// authors intend to develop solutions for DTX to work with the properties
+// of atomicity and durability", §5).
+//
+// A site logs an intent record naming every document a transaction will
+// persist, persists the documents (each individually atomic via the
+// FileStore's temp-file + rename), then logs a commit record. After a
+// crash, Recover reports transactions with an intent but no commit —
+// in-doubt transactions whose document set may be partially persisted and
+// whose outcome must be resolved against the coordinator.
+//
+// Record format, one per line:
+//
+//	I <txn> <doc>...
+//	C <txn>
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (creating if needed) a journal file for appending.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+func validToken(s string) bool {
+	return s != "" && !strings.ContainsAny(s, " \n\r\t")
+}
+
+// LogIntent records that the transaction is about to persist the documents.
+// The record is flushed to stable storage before returning.
+func (j *Journal) LogIntent(txn string, docs []string) error {
+	if !validToken(txn) {
+		return fmt.Errorf("store: journal: invalid txn id %q", txn)
+	}
+	for _, d := range docs {
+		if !validToken(d) {
+			return fmt.Errorf("store: journal: invalid document name %q", d)
+		}
+	}
+	line := "I " + txn
+	if len(docs) > 0 {
+		line += " " + strings.Join(docs, " ")
+	}
+	return j.append(line)
+}
+
+// LogCommit records that every document of the transaction is persisted.
+func (j *Journal) LogCommit(txn string) error {
+	if !validToken(txn) {
+		return fmt.Errorf("store: journal: invalid txn id %q", txn)
+	}
+	return j.append("C " + txn)
+}
+
+func (j *Journal) append(line string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("store: journal is closed")
+	}
+	if _, err := j.f.WriteString(line + "\n"); err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// InDoubt describes a transaction found in the journal with an intent
+// record but no commit record: its persistence may be partial.
+type InDoubt struct {
+	Txn  string
+	Docs []string
+}
+
+// Recover scans a journal file and returns the in-doubt transactions, in
+// intent order. A missing journal file means nothing to recover. Torn
+// trailing lines (a crash mid-append) are ignored.
+func Recover(path string) ([]InDoubt, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+	defer f.Close()
+
+	intents := make(map[string][]string)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			continue // torn or blank line
+		}
+		switch fields[0] {
+		case "I":
+			txn := fields[1]
+			if _, seen := intents[txn]; !seen {
+				order = append(order, txn)
+			}
+			intents[txn] = fields[2:]
+		case "C":
+			delete(intents, fields[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+	var out []InDoubt
+	for _, txn := range order {
+		if docs, ok := intents[txn]; ok {
+			out = append(out, InDoubt{Txn: txn, Docs: docs})
+		}
+	}
+	return out, nil
+}

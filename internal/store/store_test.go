@@ -1,0 +1,156 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func testStore(t *testing.T, s Store) {
+	t.Helper()
+	// Empty store.
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("fresh store lists %v", names)
+	}
+	if _, err := s.Load("missing"); err == nil {
+		t.Fatal("expected not-found")
+	} else {
+		var nf *NotFoundError
+		if !errors.As(err, &nf) {
+			t.Fatalf("want NotFoundError, got %T: %v", err, err)
+		}
+	}
+	// Save and load round trip.
+	doc, err := xmltree.ParseString("d1", `<people><person id="p1"><name>Ana</name></person></people>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(doc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load("d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(doc, got) {
+		t.Fatal("round trip mismatch")
+	}
+	// Overwrite.
+	doc2, _ := xmltree.ParseString("d1", `<people/>`)
+	if err := s.Save(doc2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Load("d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Root.Children) != 0 {
+		t.Fatal("overwrite did not replace")
+	}
+	// List.
+	doc3, _ := xmltree.ParseString("a0", `<x/>`)
+	if err := s.Save(doc3); err != nil {
+		t.Fatal(err)
+	}
+	names, err = s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a0" || names[1] != "d1" {
+		t.Fatalf("list = %v", names)
+	}
+	// Delete.
+	if err := s.Delete("a0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("a0"); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	names, _ = s.List()
+	if len(names) != 1 {
+		t.Fatalf("list after delete = %v", names)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	testStore(t, NewMemStore())
+}
+
+func TestFileStore(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir() + "/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, fs)
+}
+
+func TestFileStoreRejectsBadNames(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.NewDocument("../evil", "r")
+	if err := fs.Save(doc); err == nil {
+		t.Fatal("path traversal name accepted")
+	}
+	if _, err := fs.Load(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	fs1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := xmltree.ParseString("d", `<r><a>1</a></r>`)
+	if err := fs1.Save(doc); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.Load("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(doc, got) {
+		t.Fatal("document lost across reopen")
+	}
+}
+
+func TestMemStoreConcurrentAccess(t *testing.T) {
+	s := NewMemStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			doc, _ := xmltree.ParseString(name, `<r><v>x</v></r>`)
+			for j := 0; j < 50; j++ {
+				if err := s.Save(doc); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Load(name); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.List(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

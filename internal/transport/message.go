@@ -1,0 +1,118 @@
+// Package transport implements the communication infrastructure between DTX
+// schedulers — the first of the three modifications the paper makes to run
+// XDGL distributed: "a communication infrastructure between schedulers was
+// inserted, allowing it to execute remote functions, at the same time that
+// it acquires necessary locks and allows the commitment and abortion of a
+// distributed transaction".
+//
+// Two interchangeable transports are provided: an in-process network with
+// configurable synthetic latency (the default for experiments, standing in
+// for the paper's 100 Mbit/s LAN), and a TCP transport using encoding/gob
+// for multi-process deployments (cmd/dtxd).
+package transport
+
+import (
+	"encoding/gob"
+
+	"repro/internal/txn"
+	"repro/internal/wfg"
+)
+
+// ExecOpReq asks a participant to execute one remote operation of a
+// distributed transaction (Algorithm 1, l. 13 / Algorithm 2).
+type ExecOpReq struct {
+	Txn         txn.ID
+	TS          txn.TS
+	Coordinator int
+	OpIdx       int
+	Op          txn.Operation
+}
+
+// Conflict mirrors lock.Conflict for the wire.
+type Conflict struct {
+	Txn txn.ID
+	TS  txn.TS
+}
+
+// ExecOpResp reports the outcome of a remote operation, carrying the status
+// flags of Algorithm 2 back to the coordinator (l. 13).
+type ExecOpResp struct {
+	Site           int
+	Executed       bool
+	AcquireLocking bool
+	Deadlock       bool
+	Failed         bool
+	Error          string
+	Results        []string
+	Conflicts      []Conflict
+}
+
+// UndoOpReq asks a participant to undo one executed operation because the
+// operation failed to acquire locks at some other site (Algorithm 1, l. 16).
+type UndoOpReq struct {
+	Txn   txn.ID
+	OpIdx int
+}
+
+// CommitReq asks a participant to consolidate a transaction (Algorithm 5).
+type CommitReq struct{ Txn txn.ID }
+
+// AbortReq asks a participant to cancel a transaction (Algorithm 6).
+type AbortReq struct{ Txn txn.ID }
+
+// FailReq tells a participant the transaction failed (Algorithm 6, l. 7).
+type FailReq struct{ Txn txn.ID }
+
+// Ack is the generic acknowledgement response.
+type Ack struct {
+	OK    bool
+	Error string
+}
+
+// WFGReq pulls a site's wait-for graph snapshot (Algorithm 4, l. 4).
+type WFGReq struct{}
+
+// WFGResp carries the snapshot.
+type WFGResp struct{ Edges []wfg.Edge }
+
+// VictimReq asks the coordinator of a transaction to abort it because the
+// distributed deadlock detector chose it as the victim (Algorithm 4, l. 8).
+type VictimReq struct {
+	Txn    txn.ID
+	Reason string
+}
+
+// WakeReq tells a coordinator that locks one of its waiting transactions
+// was blocked on have been released ("when a transaction commits, those
+// that entered wait mode ... start executing again").
+type WakeReq struct{ Txn txn.ID }
+
+// SubmitReq carries a client transaction to a site's Listener (used by the
+// TCP transport; in-process clients call the site API directly).
+type SubmitReq struct {
+	Ops []txn.Operation
+}
+
+// SubmitResp reports the outcome of a client transaction.
+type SubmitResp struct {
+	Txn     txn.ID
+	State   string
+	Results [][]string
+	Error   string
+}
+
+func init() {
+	gob.Register(ExecOpReq{})
+	gob.Register(ExecOpResp{})
+	gob.Register(UndoOpReq{})
+	gob.Register(CommitReq{})
+	gob.Register(AbortReq{})
+	gob.Register(FailReq{})
+	gob.Register(Ack{})
+	gob.Register(WFGReq{})
+	gob.Register(WFGResp{})
+	gob.Register(VictimReq{})
+	gob.Register(WakeReq{})
+	gob.Register(SubmitReq{})
+	gob.Register(SubmitResp{})
+}

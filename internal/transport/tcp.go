@@ -1,0 +1,204 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// envelope frames one request on the wire.
+type envelope struct {
+	From int
+	Msg  any
+}
+
+// replyEnvelope frames one response.
+type replyEnvelope struct {
+	Msg any
+	Err string
+}
+
+// TCPNode is a site endpoint communicating over TCP with gob encoding. Each
+// peer gets one persistent connection; requests on a connection are
+// serialised, which preserves the synchronous semantics the paper's
+// schedulers rely on.
+type TCPNode struct {
+	id      int
+	ln      net.Listener
+	handler Handler
+
+	mu      sync.Mutex
+	peers   map[int]string // site -> address
+	conns   map[int]*clientConn
+	serving map[net.Conn]bool // accepted connections, force-closed on Close
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+type clientConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// ListenTCP starts a TCP endpoint for the site on addr ("host:port", use
+// ":0" for an ephemeral port) and begins serving incoming scheduler
+// messages with the handler.
+func ListenTCP(siteID int, addr string, h Handler) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		id:      siteID,
+		ln:      ln,
+		handler: h,
+		peers:   make(map[int]string),
+		conns:   make(map[int]*clientConn),
+		serving: make(map[net.Conn]bool),
+		closed:  make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the listening address, useful with ":0".
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// SetPeer registers the address of another site.
+func (n *TCPNode) SetPeer(siteID int, addr string) {
+	n.mu.Lock()
+	n.peers[siteID] = addr
+	n.mu.Unlock()
+}
+
+// SiteID implements Node.
+func (n *TCPNode) SiteID() int { return n.id }
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+			}
+			continue
+		}
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+func (n *TCPNode) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.serving, conn)
+		n.mu.Unlock()
+	}()
+	n.mu.Lock()
+	if n.serving == nil {
+		n.mu.Unlock()
+		return
+	}
+	n.serving[conn] = true
+	n.mu.Unlock()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		resp, err := n.handler.HandleMessage(env.From, env.Msg)
+		rep := replyEnvelope{Msg: resp}
+		if err != nil {
+			rep.Err = err.Error()
+		}
+		if err := enc.Encode(&rep); err != nil {
+			return
+		}
+	}
+}
+
+func (n *TCPNode) client(to int) (*clientConn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c := n.conns[to]; c != nil {
+		return c, nil
+	}
+	addr, ok := n.peers[to]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for site %d", to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial site %d: %w", to, err)
+	}
+	c := &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	n.conns[to] = c
+	return c, nil
+}
+
+func (n *TCPNode) dropClient(to int, c *clientConn) {
+	n.mu.Lock()
+	if n.conns[to] == c {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	c.conn.Close()
+}
+
+// Send implements Node: one synchronous request/response exchange.
+func (n *TCPNode) Send(to int, msg any) (any, error) {
+	c, err := n.client(to)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&envelope{From: n.id, Msg: msg}); err != nil {
+		n.dropClient(to, c)
+		return nil, fmt.Errorf("transport: send to site %d: %w", to, err)
+	}
+	var rep replyEnvelope
+	if err := c.dec.Decode(&rep); err != nil {
+		n.dropClient(to, c)
+		return nil, fmt.Errorf("transport: recv from site %d: %w", to, err)
+	}
+	if rep.Err != "" {
+		return rep.Msg, errors.New(rep.Err)
+	}
+	return rep.Msg, nil
+}
+
+// Close implements Node.
+func (n *TCPNode) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+		close(n.closed)
+	}
+	err := n.ln.Close()
+	n.mu.Lock()
+	for id, c := range n.conns {
+		c.conn.Close()
+		delete(n.conns, id)
+	}
+	for conn := range n.serving {
+		conn.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return err
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Handler processes one request message and returns a response. A site's
+// Listener implements this: "receive, handle and forward the requests from
+// other schedulers to the DTX scheduler".
+type Handler interface {
+	HandleMessage(from int, msg any) (any, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from int, msg any) (any, error)
+
+// HandleMessage implements Handler.
+func (f HandlerFunc) HandleMessage(from int, msg any) (any, error) { return f(from, msg) }
+
+// Node is one site's endpoint in the scheduler-to-scheduler network.
+type Node interface {
+	// SiteID returns this endpoint's site identifier.
+	SiteID() int
+	// Send delivers a request to another site and waits for its response.
+	Send(to int, msg any) (any, error)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// Network is an in-process transport connecting any number of sites with
+// synchronous request/response semantics and configurable one-way latency,
+// standing in for the paper's Ethernet LAN.
+type Network struct {
+	mu      sync.RWMutex
+	nodes   map[int]*memNode
+	latency time.Duration
+}
+
+// NewNetwork creates an empty in-process network.
+func NewNetwork() *Network {
+	return &Network{nodes: make(map[int]*memNode)}
+}
+
+// SetLatency sets the synthetic one-way message latency. Zero disables the
+// delay. A request/response exchange pays the latency twice.
+func (n *Network) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	n.latency = d
+	n.mu.Unlock()
+}
+
+// Join registers a site with its handler and returns its endpoint.
+func (n *Network) Join(siteID int, h Handler) (Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.nodes[siteID]; exists {
+		return nil, fmt.Errorf("transport: site %d already joined", siteID)
+	}
+	node := &memNode{net: n, id: siteID, handler: h}
+	n.nodes[siteID] = node
+	return node, nil
+}
+
+type memNode struct {
+	net     *Network
+	id      int
+	handler Handler
+}
+
+func (m *memNode) SiteID() int { return m.id }
+
+func (m *memNode) Send(to int, msg any) (any, error) {
+	m.net.mu.RLock()
+	peer := m.net.nodes[to]
+	lat := m.net.latency
+	m.net.mu.RUnlock()
+	if peer == nil {
+		return nil, fmt.Errorf("transport: site %d unreachable", to)
+	}
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	resp, err := peer.handler.HandleMessage(m.id, msg)
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	return resp, err
+}
+
+func (m *memNode) Close() error {
+	m.net.mu.Lock()
+	delete(m.net.nodes, m.id)
+	m.net.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,156 @@
+// Package txn defines the transaction model shared by every DTX component:
+// transaction identifiers, logical start timestamps (used by the deadlock
+// victim rule "abort the most recent transaction in the circle"), operation
+// records with the status flags of Algorithms 1–2, and transaction states.
+package txn
+
+import (
+	"fmt"
+
+	"repro/internal/xupdate"
+)
+
+// ID uniquely identifies a transaction across the whole system: the site
+// that coordinates it plus a site-local sequence number.
+type ID struct {
+	Site int
+	Seq  int64
+}
+
+// Zero is the zero ID, used as "no transaction".
+var Zero ID
+
+// String renders the ID as t<site>.<seq>.
+func (id ID) String() string { return fmt.Sprintf("t%d.%d", id.Site, id.Seq) }
+
+// Less orders IDs for deterministic tie-breaking.
+func (id ID) Less(other ID) bool {
+	if id.Site != other.Site {
+		return id.Site < other.Site
+	}
+	return id.Seq < other.Seq
+}
+
+// TS is a logical start timestamp (Lamport-style). Larger means more recent,
+// which is what the deadlock victim rule compares.
+type TS int64
+
+// Newer reports whether a transaction stamped (ats, aid) is more recent than
+// one stamped (bts, bid). Ties on the timestamp are broken by ID so every
+// site picks the same victim from the same cycle.
+func Newer(ats TS, aid ID, bts TS, bid ID) bool {
+	if ats != bts {
+		return ats > bts
+	}
+	return bid.Less(aid)
+}
+
+// State is the lifecycle state of a transaction. The paper's §2.2 closes
+// with: "a transaction either commits, aborts or fails".
+type State int
+
+// Transaction states.
+const (
+	Active State = iota
+	Waiting
+	Committed
+	Aborted
+	Failed
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Waiting:
+		return "waiting"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	case Failed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// OpKind distinguishes read from write operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpQuery OpKind = iota
+	OpUpdate
+)
+
+// Operation is one step of a transaction. Exactly one of Query or Update is
+// set, matching the kind. Doc names the target document; the catalog decides
+// which sites the operation must execute on.
+type Operation struct {
+	Kind   OpKind
+	Doc    string
+	Query  string          // XPath text for OpQuery
+	Update *xupdate.Update // for OpUpdate
+
+	// Status flags mirroring Algorithms 1–2.
+	Executed       bool
+	AcquireLocking bool
+	Aborted        bool
+	Deadlock       bool
+}
+
+// NewQuery builds a read operation.
+func NewQuery(doc, query string) Operation {
+	return Operation{Kind: OpQuery, Doc: doc, Query: query}
+}
+
+// NewUpdate builds a write operation.
+func NewUpdate(doc string, u *xupdate.Update) Operation {
+	return Operation{Kind: OpUpdate, Doc: doc, Update: u}
+}
+
+// String renders the operation compactly.
+func (op Operation) String() string {
+	if op.Kind == OpQuery {
+		return fmt.Sprintf("query(%s: %s)", op.Doc, op.Query)
+	}
+	return fmt.Sprintf("update(%s: %s)", op.Doc, op.Update)
+}
+
+// Transaction is a client-submitted unit of work: an ordered list of
+// operations executed under the coordinator of the site it was submitted to.
+type Transaction struct {
+	ID    ID
+	TS    TS
+	Ops   []Operation
+	State State
+}
+
+// New builds a transaction with the given identity and operations.
+func New(id ID, ts TS, ops []Operation) *Transaction {
+	return &Transaction{ID: id, TS: ts, Ops: ops, State: Active}
+}
+
+// Clock is a site-local Lamport clock used to stamp transactions so that
+// "most recent" is meaningful across sites. Not safe for concurrent use;
+// callers synchronise.
+type Clock struct {
+	now TS
+}
+
+// Tick advances the clock and returns the new timestamp.
+func (c *Clock) Tick() TS {
+	c.now++
+	return c.now
+}
+
+// Observe folds in a timestamp seen from another site.
+func (c *Clock) Observe(ts TS) {
+	if ts > c.now {
+		c.now = ts
+	}
+}
+
+// Now returns the current timestamp without advancing.
+func (c *Clock) Now() TS { return c.now }

@@ -1,0 +1,253 @@
+package wfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/txn"
+)
+
+func id(site int, seq int64) txn.ID { return txn.ID{Site: site, Seq: seq} }
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New()
+	g.AddEdge(id(1, 1), 10, id(1, 2), 5)
+	if g.Len() != 1 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if got := g.Waiters(id(1, 2)); len(got) != 1 || got[0] != id(1, 1) {
+		t.Fatalf("waiters = %v", got)
+	}
+	g.RemoveEdge(id(1, 1), id(1, 2))
+	if g.Len() != 0 {
+		t.Fatalf("len after remove = %d", g.Len())
+	}
+	// Self edges are ignored.
+	g.AddEdge(id(1, 1), 10, id(1, 1), 10)
+	if g.Len() != 0 {
+		t.Fatal("self edge recorded")
+	}
+}
+
+func TestNoCycle(t *testing.T) {
+	g := New()
+	g.AddEdge(id(1, 1), 1, id(1, 2), 2)
+	g.AddEdge(id(1, 2), 2, id(1, 3), 3)
+	g.AddEdge(id(1, 1), 1, id(1, 3), 3)
+	if g.HasCycle() {
+		t.Fatalf("acyclic graph reported cyclic:\n%s", g)
+	}
+}
+
+func TestSimpleCycle(t *testing.T) {
+	g := New()
+	g.AddEdge(id(1, 1), 1, id(2, 1), 2)
+	g.AddEdge(id(2, 1), 2, id(1, 1), 1)
+	cycle := g.FindCycle()
+	if len(cycle) != 2 {
+		t.Fatalf("cycle = %v", cycle)
+	}
+	victim := g.NewestInCycle(cycle)
+	if victim != id(2, 1) {
+		t.Fatalf("victim = %v, want t2.1 (newest)", victim)
+	}
+}
+
+func TestLongerCycleAndVictimTieBreak(t *testing.T) {
+	g := New()
+	// 3-cycle with equal timestamps: tie must break to the largest ID.
+	g.AddEdge(id(1, 1), 7, id(1, 2), 7)
+	g.AddEdge(id(1, 2), 7, id(2, 1), 7)
+	g.AddEdge(id(2, 1), 7, id(1, 1), 7)
+	cycle := g.FindCycle()
+	if len(cycle) != 3 {
+		t.Fatalf("cycle = %v", cycle)
+	}
+	if victim := g.NewestInCycle(cycle); victim != id(2, 1) {
+		t.Fatalf("victim = %v, want t2.1 on tie-break", victim)
+	}
+}
+
+func TestCycleNotInFirstComponent(t *testing.T) {
+	g := New()
+	g.AddEdge(id(1, 1), 1, id(1, 2), 2) // acyclic component
+	g.AddEdge(id(3, 1), 3, id(3, 2), 4)
+	g.AddEdge(id(3, 2), 4, id(3, 1), 3) // cycle in a later component
+	cycle := g.FindCycle()
+	if len(cycle) != 2 {
+		t.Fatalf("cycle = %v", cycle)
+	}
+}
+
+func TestClearWaiterBreaksCycle(t *testing.T) {
+	g := New()
+	g.AddEdge(id(1, 1), 1, id(1, 2), 2)
+	g.AddEdge(id(1, 2), 2, id(1, 1), 1)
+	g.ClearWaiter(id(1, 2))
+	if g.HasCycle() {
+		t.Fatal("cycle persists after ClearWaiter")
+	}
+	if g.Len() != 1 {
+		t.Fatalf("len = %d, want 1", g.Len())
+	}
+}
+
+func TestRemoveTxn(t *testing.T) {
+	g := New()
+	g.AddEdge(id(1, 1), 1, id(1, 2), 2)
+	g.AddEdge(id(1, 3), 3, id(1, 1), 1)
+	g.AddEdge(id(1, 2), 2, id(1, 3), 3)
+	g.RemoveTxn(id(1, 1))
+	if g.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (only t1.2->t1.3 remains)", g.Len())
+	}
+	if g.HasCycle() {
+		t.Fatal("cycle persists after RemoveTxn")
+	}
+}
+
+func TestUnionDetectsDistributedCycle(t *testing.T) {
+	// Site 1 sees t1 -> t2; site 2 sees t2 -> t1. Only the union cycles.
+	s1, s2 := New(), New()
+	s1.AddEdge(id(1, 1), 1, id(2, 1), 2)
+	s2.AddEdge(id(2, 1), 2, id(1, 1), 1)
+	if s1.HasCycle() || s2.HasCycle() {
+		t.Fatal("local graphs must be acyclic")
+	}
+	union := New()
+	union.Union(s1.Edges())
+	union.Union(s2.Edges())
+	cycle := union.FindCycle()
+	if len(cycle) != 2 {
+		t.Fatalf("union cycle = %v", cycle)
+	}
+	if victim := union.NewestInCycle(cycle); victim != id(2, 1) {
+		t.Fatalf("victim = %v", victim)
+	}
+}
+
+func TestEdgesSnapshotDeterministic(t *testing.T) {
+	g := New()
+	g.AddEdge(id(2, 1), 2, id(1, 1), 1)
+	g.AddEdge(id(1, 1), 1, id(1, 2), 2)
+	e1 := g.Edges()
+	e2 := g.Edges()
+	if len(e1) != 2 || len(e2) != 2 {
+		t.Fatalf("edges = %v", e1)
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("snapshot order not deterministic")
+		}
+	}
+	if e1[0].Waiter != id(1, 1) {
+		t.Fatalf("order = %v", e1)
+	}
+}
+
+// Property: a random graph has a cycle found by FindCycle iff a reference
+// Kahn-style topological sort cannot consume every node.
+func TestPropertyCycleAgreesWithToposort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 2 + rng.Intn(8)
+		edges := rng.Intn(2 * n)
+		type pair struct{ a, b int }
+		present := map[pair]bool{}
+		for i := 0; i < edges; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			present[pair{a, b}] = true
+			g.AddEdge(id(1, int64(a)), txn.TS(a), id(1, int64(b)), txn.TS(b))
+		}
+		// Kahn's algorithm over the same edges.
+		indeg := make([]int, n)
+		adj := make([][]int, n)
+		for p := range present {
+			adj[p.a] = append(adj[p.a], p.b)
+			indeg[p.b]++
+		}
+		var queue []int
+		for i := 0; i < n; i++ {
+			if indeg[i] == 0 {
+				queue = append(queue, i)
+			}
+		}
+		seen := 0
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			seen++
+			for _, v := range adj[u] {
+				indeg[v]--
+				if indeg[v] == 0 {
+					queue = append(queue, v)
+				}
+			}
+		}
+		hasCycleRef := seen < n
+		return g.HasCycle() == hasCycleRef
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the victim is always a member of the reported cycle, and no
+// member is newer than the victim.
+func TestPropertyVictimIsNewestMember(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := 3 + rng.Intn(6)
+		// Build a guaranteed ring plus noise.
+		for i := 0; i < n; i++ {
+			g.AddEdge(id(1, int64(i)), txn.TS(rng.Intn(100)), id(1, int64((i+1)%n)), txn.TS(rng.Intn(100)))
+		}
+		cycle := g.FindCycle()
+		if cycle == nil {
+			return false
+		}
+		victim := g.NewestInCycle(cycle)
+		found := false
+		for _, m := range cycle {
+			if m == victim {
+				found = true
+			}
+			if txn.Newer(g.TS(m), m, g.TS(victim), victim) {
+				return false
+			}
+		}
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockAndNewer(t *testing.T) {
+	var c txn.Clock
+	t1 := c.Tick()
+	t2 := c.Tick()
+	if t2 <= t1 {
+		t.Fatal("clock not monotonic")
+	}
+	c.Observe(100)
+	if c.Now() != 100 {
+		t.Fatalf("observe: now = %d", c.Now())
+	}
+	c.Observe(50)
+	if c.Now() != 100 {
+		t.Fatal("observe went backwards")
+	}
+	if !txn.Newer(2, id(1, 1), 1, id(1, 2)) {
+		t.Fatal("larger TS must be newer")
+	}
+	if !txn.Newer(1, id(2, 1), 1, id(1, 9)) {
+		t.Fatal("tie must break by ID order")
+	}
+}

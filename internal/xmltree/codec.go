@@ -1,0 +1,134 @@
+package xmltree
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r into the tree model. Namespaces,
+// comments and processing instructions are discarded; character data is
+// trimmed and concatenated per element.
+func Parse(name string, r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	var doc *Document
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse %s: %w", name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			var n *Node
+			if doc == nil {
+				doc = NewDocument(name, t.Name.Local)
+				n = doc.Root
+			} else {
+				if len(stack) == 0 {
+					return nil, fmt.Errorf("xmltree: parse %s: multiple roots", name)
+				}
+				n = doc.NewElement(t.Name.Local)
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, n)
+				n.Parent = parent
+			}
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.Attrs = append(n.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmltree: parse %s: unbalanced end element", name)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				text := strings.TrimSpace(string(t))
+				if text != "" {
+					top := stack[len(stack)-1]
+					if top.Text != "" {
+						top.Text += " "
+					}
+					top.Text += text
+				}
+			}
+		}
+	}
+	if doc == nil {
+		return nil, fmt.Errorf("xmltree: parse %s: empty document", name)
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmltree: parse %s: unclosed elements", name)
+	}
+	return doc, nil
+}
+
+// ParseString is a convenience wrapper over Parse for string input.
+func ParseString(name, s string) (*Document, error) {
+	return Parse(name, strings.NewReader(s))
+}
+
+// WriteTo serializes the document as indented XML.
+func (d *Document) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	writeNode(&buf, d.Root, 0)
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// String returns the document serialized as indented XML.
+func (d *Document) String() string {
+	var buf bytes.Buffer
+	if _, err := d.WriteTo(&buf); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+func writeNode(buf *bytes.Buffer, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	buf.WriteString(indent)
+	buf.WriteByte('<')
+	buf.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		buf.WriteByte(' ')
+		buf.WriteString(a.Name)
+		buf.WriteString(`="`)
+		xml.EscapeText(buf, []byte(a.Value))
+		buf.WriteByte('"')
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		buf.WriteString("/>\n")
+		return
+	}
+	buf.WriteByte('>')
+	if len(n.Children) == 0 {
+		xml.EscapeText(buf, []byte(n.Text))
+		buf.WriteString("</")
+		buf.WriteString(n.Name)
+		buf.WriteString(">\n")
+		return
+	}
+	buf.WriteByte('\n')
+	if n.Text != "" {
+		buf.WriteString(strings.Repeat("  ", depth+1))
+		xml.EscapeText(buf, []byte(n.Text))
+		buf.WriteByte('\n')
+	}
+	for _, c := range n.Children {
+		writeNode(buf, c, depth+1)
+	}
+	buf.WriteString(indent)
+	buf.WriteString("</")
+	buf.WriteString(n.Name)
+	buf.WriteString(">\n")
+}

@@ -1,0 +1,182 @@
+package xpath
+
+import (
+	"repro/internal/xmltree"
+)
+
+// Eval evaluates q against doc and returns the matching element nodes in
+// document order without duplicates. When the query selects an attribute
+// (trailing /@name), the returned nodes are the elements that carry the
+// attribute; use Node.Attr to extract values.
+func Eval(q *Query, doc *xmltree.Document) []*xmltree.Node {
+	// The context of the first step is a virtual document node whose only
+	// child is the root element.
+	ctx := []*xmltree.Node{}
+	for i, step := range q.Steps {
+		var next []*xmltree.Node
+		seen := make(map[xmltree.NodeID]bool)
+		add := func(n *xmltree.Node) {
+			if !seen[n.ID] {
+				seen[n.ID] = true
+				next = append(next, n)
+			}
+		}
+		if i == 0 {
+			switch step.Axis {
+			case Child:
+				if nameMatches(step.Name, doc.Root.Name) {
+					add(doc.Root)
+				}
+			case Descendant:
+				doc.Walk(func(n *xmltree.Node) bool {
+					if nameMatches(step.Name, n.Name) {
+						add(n)
+					}
+					return true
+				})
+			}
+		} else {
+			for _, c := range ctx {
+				switch step.Axis {
+				case Child:
+					for _, child := range c.Children {
+						if nameMatches(step.Name, child.Name) {
+							add(child)
+						}
+					}
+				case Descendant:
+					// '//name' from context c expands to
+					// descendant-or-self::node()/child::name, which is
+					// exactly the descendants of c with a matching name.
+					for _, d := range c.Descendants() {
+						if nameMatches(step.Name, d.Name) {
+							add(d)
+						}
+					}
+				}
+			}
+		}
+		next = applyPreds(step.Preds, next)
+		ctx = next
+		if len(ctx) == 0 {
+			return nil
+		}
+	}
+	if q.Attr != "" {
+		var out []*xmltree.Node
+		for _, n := range ctx {
+			if _, ok := n.Attr(q.Attr); ok {
+				out = append(out, n)
+			}
+		}
+		return sortDocOrder(out)
+	}
+	return sortDocOrder(ctx)
+}
+
+// EvalStrings evaluates q and renders each match as a string: the attribute
+// value for attribute queries, otherwise the node's text content.
+func EvalStrings(q *Query, doc *xmltree.Document) []string {
+	nodes := Eval(q, doc)
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if q.Attr != "" {
+			v, _ := n.Attr(q.Attr)
+			out = append(out, v)
+		} else {
+			out = append(out, n.Text)
+		}
+	}
+	return out
+}
+
+func nameMatches(test, name string) bool {
+	return test == "*" || test == name
+}
+
+func applyPreds(preds []Pred, nodes []*xmltree.Node) []*xmltree.Node {
+	for _, p := range preds {
+		var kept []*xmltree.Node
+		for i, n := range nodes {
+			if matchPred(p, n, i) {
+				kept = append(kept, n)
+			}
+		}
+		nodes = kept
+		if len(nodes) == 0 {
+			return nil
+		}
+	}
+	return nodes
+}
+
+func matchPred(p Pred, n *xmltree.Node, idx int) bool {
+	switch p.Kind {
+	case PredPosition:
+		return idx+1 == p.Position
+	case PredAttr:
+		v, ok := n.Attr(p.Name)
+		if !ok {
+			return false
+		}
+		return cmp(p.Op, v, p.Value)
+	case PredText:
+		return cmp(p.Op, n.Text, p.Value)
+	case PredChild:
+		for _, c := range n.Children {
+			if c.Name == p.Name && cmp(p.Op, c.Text, p.Value) {
+				return true
+			}
+		}
+		// For !=, XPath existential semantics: true if some child named Name
+		// has a different value. The loop above already implements that.
+		return false
+	default:
+		return false
+	}
+}
+
+func cmp(op CmpOp, a, b string) bool {
+	if op == Neq {
+		return a != b
+	}
+	return a == b
+}
+
+// sortDocOrder orders nodes by document position. Matches are produced in
+// walk order per step, but predicate filtering and multi-context merging can
+// interleave branches, so we re-sort by a depth-first ranking.
+func sortDocOrder(nodes []*xmltree.Node) []*xmltree.Node {
+	if len(nodes) <= 1 {
+		return nodes
+	}
+	rank := make(map[xmltree.NodeID]int, len(nodes))
+	want := make(map[xmltree.NodeID]bool, len(nodes))
+	for _, n := range nodes {
+		want[n.ID] = true
+	}
+	// Find the document by walking up from any node.
+	root := nodes[0]
+	for root.Parent != nil {
+		root = root.Parent
+	}
+	i := 0
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		if want[n.ID] {
+			rank[n.ID] = i
+			i++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	out := append([]*xmltree.Node(nil), nodes...)
+	for j := 1; j < len(out); j++ {
+		for k := j; k > 0 && rank[out[k].ID] < rank[out[k-1].ID]; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package xpath implements the subset of the XPath language that the XDGL
+// protocol (and therefore DTX) supports for information recovery: absolute
+// location paths with child (/) and descendant (//) axes, name tests and
+// wildcards, attribute selection, and simple comparison predicates on child
+// elements, attributes, text() and position.
+//
+// Grammar:
+//
+//	query     = step { step } [ "/" "@" NAME ]
+//	step      = ("/" | "//") nametest { predicate }
+//	nametest  = NAME | "*"
+//	predicate = "[" pred "]"
+//	pred      = "@" NAME cmp literal
+//	          | NAME cmp literal
+//	          | "text" "(" ")" cmp literal
+//	          | NUMBER
+//	cmp       = "=" | "!="
+//	literal   = "'" chars "'" | `"` chars `"` | NUMBER
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokSlash
+	tokDSlash
+	tokName
+	tokStar
+	tokAt
+	tokLBracket
+	tokRBracket
+	tokEq
+	tokNeq
+	tokString
+	tokNumber
+	tokLParen
+	tokRParen
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokSlash:
+		return "'/'"
+	case tokDSlash:
+		return "'//'"
+	case tokName:
+		return "name"
+	case tokStar:
+		return "'*'"
+	case tokAt:
+		return "'@'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokString:
+		return "string literal"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	default:
+		return fmt.Sprintf("tok(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	input string
+	pos   int
+}
+
+// SyntaxError reports a malformed query with the offending position.
+type SyntaxError struct {
+	Query string
+	Pos   int
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xpath: %s at offset %d in %q", e.Msg, e.Pos, e.Query)
+}
+
+func isNameStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isNameRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == '.'
+}
+
+func (l *lexer) errf(pos int, format string, args ...interface{}) error {
+	return &SyntaxError{Query: l.input, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && (l.input[l.pos] == ' ' || l.input[l.pos] == '\t') {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+	switch {
+	case c == '/':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '/' {
+			l.pos += 2
+			return token{kind: tokDSlash, text: "//", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokSlash, text: "/", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '@':
+		l.pos++
+		return token{kind: tokAt, text: "@", pos: start}, nil
+	case c == '[':
+		l.pos++
+		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case c == ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokNeq, text: "!=", pos: start}, nil
+		}
+		return token{}, l.errf(start, "unexpected '!'")
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.input) && l.input[l.pos] != quote {
+			b.WriteByte(l.input[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.input) {
+			return token{}, l.errf(start, "unterminated string literal")
+		}
+		l.pos++ // closing quote
+		return token{kind: tokString, text: b.String(), pos: start}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.input) && (l.input[l.pos] >= '0' && l.input[l.pos] <= '9' || l.input[l.pos] == '.') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}, nil
+	default:
+		r := rune(c)
+		if !isNameStart(r) {
+			return token{}, l.errf(start, "unexpected character %q", r)
+		}
+		for l.pos < len(l.input) && isNameRune(rune(l.input[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokName, text: l.input[start:l.pos], pos: start}, nil
+	}
+}

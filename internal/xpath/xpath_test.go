@@ -1,0 +1,256 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xmltree"
+)
+
+const storeXML = `
+<products>
+  <product id="prod1"><id>4</id><description>Mouse</description><price>10.30</price></product>
+  <product id="prod2"><id>14</id><description>Keyboard</description><price>9.90</price></product>
+  <product id="prod3"><id>32</id><description>Monitor</description><price>99.00</price></product>
+  <promo>
+    <product id="prod4"><id>77</id><description>Cable</description><price>1.10</price></product>
+  </promo>
+</products>`
+
+func storeDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	doc, err := xmltree.ParseString("d2", storeXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func evalTexts(t *testing.T, doc *xmltree.Document, query string) []string {
+	t.Helper()
+	q, err := Parse(query)
+	if err != nil {
+		t.Fatalf("parse %q: %v", query, err)
+	}
+	return EvalStrings(q, doc)
+}
+
+func TestParseValid(t *testing.T) {
+	cases := []string{
+		"/products",
+		"/products/product",
+		"/products/product/id",
+		"//product",
+		"//product[id='4']",
+		"/products/product[@id='prod1']",
+		"/products/product[2]",
+		"/products/*",
+		"//product/description",
+		"/products/product[price='10.30']/description",
+		"/products/product[text()='x']",
+		"/products/product/@id",
+		"//product[@id!='prod1']",
+		"/products/product[id=4]",
+	}
+	for _, c := range cases {
+		q, err := Parse(c)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c, err)
+			continue
+		}
+		// Canonical form must reparse to an equivalent query.
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Errorf("reparse %q (from %q): %v", q.String(), c, err)
+			continue
+		}
+		if q.String() != q2.String() {
+			t.Errorf("canonical form unstable: %q -> %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	cases := []string{
+		"",
+		"products",         // must be absolute
+		"/",                // no step
+		"/products/",       // dangling slash
+		"/products[",       // unterminated predicate
+		"/products[id=]",   // missing literal
+		"/products[id'4']", // missing operator
+		"/products[0]",     // positions are 1-based
+		"/products['a'']",  // junk predicate
+		"/products/product[@id='x'",
+		"/p/@",   // missing attribute name
+		"//@id",  // attribute needs '/' axis
+		"/@id",   // attribute selection with no preceding step
+		"/a/b!c", // stray '!'
+		"/a[x='unterminated]",
+		"/a]b",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q): expected error", c)
+		}
+	}
+}
+
+func TestEvalChildAxis(t *testing.T) {
+	doc := storeDoc(t)
+	got := evalTexts(t, doc, "/products/product/id")
+	want := []string{"4", "14", "32"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestEvalDescendantAxis(t *testing.T) {
+	doc := storeDoc(t)
+	got := evalTexts(t, doc, "//product/id")
+	want := []string{"4", "14", "32", "77"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Descendant in the middle of a path.
+	got = evalTexts(t, doc, "/products//product/description")
+	want = []string{"Mouse", "Keyboard", "Monitor", "Cable"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("middle //: got %v, want %v", got, want)
+	}
+}
+
+func TestEvalWildcard(t *testing.T) {
+	doc := storeDoc(t)
+	q := MustParse("/products/*")
+	nodes := Eval(q, doc)
+	if len(nodes) != 4 {
+		t.Fatalf("wildcard matched %d nodes, want 4", len(nodes))
+	}
+}
+
+func TestEvalChildPredicate(t *testing.T) {
+	doc := storeDoc(t)
+	got := evalTexts(t, doc, "//product[id='14']/description")
+	if len(got) != 1 || got[0] != "Keyboard" {
+		t.Fatalf("got %v, want [Keyboard]", got)
+	}
+	got = evalTexts(t, doc, "//product[id!='14']/description")
+	if strings.Join(got, ",") != "Mouse,Monitor,Cable" {
+		t.Fatalf("!=: got %v", got)
+	}
+}
+
+func TestEvalAttrPredicate(t *testing.T) {
+	doc := storeDoc(t)
+	got := evalTexts(t, doc, "/products/product[@id='prod2']/price")
+	if len(got) != 1 || got[0] != "9.90" {
+		t.Fatalf("got %v, want [9.90]", got)
+	}
+	if got := evalTexts(t, doc, "/products/product[@missing='x']"); len(got) != 0 {
+		t.Fatalf("missing attr matched: %v", got)
+	}
+}
+
+func TestEvalPositionPredicate(t *testing.T) {
+	doc := storeDoc(t)
+	got := evalTexts(t, doc, "/products/product[2]/description")
+	if len(got) != 1 || got[0] != "Keyboard" {
+		t.Fatalf("got %v, want [Keyboard]", got)
+	}
+	if got := evalTexts(t, doc, "/products/product[9]"); len(got) != 0 {
+		t.Fatalf("out-of-range position matched: %v", got)
+	}
+}
+
+func TestEvalAttrSelection(t *testing.T) {
+	doc := storeDoc(t)
+	got := evalTexts(t, doc, "/products/product/@id")
+	want := []string{"prod1", "prod2", "prod3"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestEvalTextPredicate(t *testing.T) {
+	doc, err := xmltree.ParseString("d", `<r><x>alpha</x><x>beta</x></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalTexts(t, doc, "/r/x[text()='beta']")
+	if len(got) != 1 || got[0] != "beta" {
+		t.Fatalf("got %v, want [beta]", got)
+	}
+}
+
+func TestEvalRootMismatch(t *testing.T) {
+	doc := storeDoc(t)
+	if got := Eval(MustParse("/people"), doc); got != nil {
+		t.Fatalf("root mismatch matched: %v", got)
+	}
+}
+
+func TestEvalNoDuplicates(t *testing.T) {
+	// //product via // on nested contexts must not duplicate the nested one.
+	doc := storeDoc(t)
+	q := MustParse("//product")
+	nodes := Eval(q, doc)
+	seen := map[xmltree.NodeID]bool{}
+	for _, n := range nodes {
+		if seen[n.ID] {
+			t.Fatalf("duplicate node %d in result", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("//product matched %d, want 4", len(nodes))
+	}
+}
+
+func TestEvalDocumentOrder(t *testing.T) {
+	doc := storeDoc(t)
+	nodes := Eval(MustParse("//id"), doc)
+	var last int
+	rankOf := func(target *xmltree.Node) int {
+		i, found := 0, -1
+		doc.Walk(func(n *xmltree.Node) bool {
+			if n == target {
+				found = i
+			}
+			i++
+			return true
+		})
+		return found
+	}
+	for i, n := range nodes {
+		r := rankOf(n)
+		if i > 0 && r < last {
+			t.Fatalf("results out of document order at %d", i)
+		}
+		last = r
+	}
+}
+
+// TestPropertyEvalSubsetOfWalk: every node returned by any query must be an
+// attached node of the document with a matching final name test.
+func TestPropertyEvalSubsetOfWalk(t *testing.T) {
+	doc := storeDoc(t)
+	queries := []string{"//product", "/products/product", "//id", "/products/*", "//product[id='4']"}
+	f := func(pick uint8) bool {
+		q := MustParse(queries[int(pick)%len(queries)])
+		for _, n := range Eval(q, doc) {
+			if !doc.Attached(n) {
+				return false
+			}
+			last := q.Steps[len(q.Steps)-1]
+			if last.Name != "*" && n.Name != last.Name {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

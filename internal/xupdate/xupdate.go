@@ -1,0 +1,357 @@
+// Package xupdate implements the five-operation update language that XDGL
+// defines for XML documents — insert, remove, transpose, rename and change —
+// together with inverse-operation undo records. DTX uses the undo records to
+// roll back aborted transactions and to undo operations that could not
+// acquire locks at every participant site (Algorithm 1, lines 15–17).
+package xupdate
+
+import (
+	"fmt"
+
+	"repro/internal/dataguide"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Kind enumerates the update operations of the language.
+type Kind int
+
+// The five update operations of XDGL's update language.
+const (
+	Insert Kind = iota
+	Remove
+	Rename
+	Change
+	Transpose
+)
+
+// String returns the update language keyword.
+func (k Kind) String() string {
+	switch k {
+	case Insert:
+		return "insert"
+	case Remove:
+		return "remove"
+	case Rename:
+		return "rename"
+	case Change:
+		return "change"
+	case Transpose:
+		return "transpose"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// NodeSpec describes a subtree to insert. It is pure data so it can travel
+// through encoding/gob to participant sites.
+type NodeSpec struct {
+	Name     string
+	Text     string
+	Attrs    []xmltree.Attr
+	Children []*NodeSpec
+}
+
+// Build materialises the spec as a detached subtree of doc.
+func (s *NodeSpec) Build(doc *xmltree.Document) (*xmltree.Node, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("xupdate: node spec without a name")
+	}
+	n := doc.NewElement(s.Name)
+	n.Text = s.Text
+	if len(s.Attrs) > 0 {
+		n.Attrs = append([]xmltree.Attr(nil), s.Attrs...)
+	}
+	for _, c := range s.Children {
+		cn, err := c.Build(doc)
+		if err != nil {
+			return nil, err
+		}
+		if err := doc.AttachAt(n, cn, xmltree.Into); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Update is one update operation against a document. Target paths are kept
+// as raw XPath text so the struct serialises cleanly through encoding/gob;
+// they are parsed on demand.
+type Update struct {
+	Kind    Kind
+	Target  string      // XPath selecting the node(s) the operation applies to
+	Pos     xmltree.Pos // Insert: into / before / after the target
+	New     *NodeSpec   // Insert: subtree to create
+	NewName string      // Rename: replacement element name
+	Value   string      // Change: new text value (or attribute value)
+	Attr    string      // Change: when set, change this attribute, not text
+	Target2 string      // Transpose: second path
+}
+
+// TargetQuery returns the parsed primary target path. Parsing is done per
+// call rather than cached: one Update value fans out to several sites, and
+// a cache would be a data race between their schedulers.
+func (u *Update) TargetQuery() (*xpath.Query, error) {
+	return xpath.Parse(u.Target)
+}
+
+// Target2Query returns the parsed secondary path for Transpose.
+func (u *Update) Target2Query() (*xpath.Query, error) {
+	return xpath.Parse(u.Target2)
+}
+
+// String renders the update in the update-language surface syntax.
+func (u *Update) String() string {
+	switch u.Kind {
+	case Insert:
+		name := "?"
+		if u.New != nil {
+			name = u.New.Name
+		}
+		return fmt.Sprintf("insert <%s> %s %s", name, u.Pos, u.Target)
+	case Remove:
+		return fmt.Sprintf("remove %s", u.Target)
+	case Rename:
+		return fmt.Sprintf("rename %s to %s", u.Target, u.NewName)
+	case Change:
+		if u.Attr != "" {
+			return fmt.Sprintf("change %s/@%s to %q", u.Target, u.Attr, u.Value)
+		}
+		return fmt.Sprintf("change %s to %q", u.Target, u.Value)
+	case Transpose:
+		return fmt.Sprintf("transpose %s and %s", u.Target, u.Target2)
+	default:
+		return "unknown update"
+	}
+}
+
+// Validate checks the static shape of the update before execution.
+func (u *Update) Validate() error {
+	if _, err := u.TargetQuery(); err != nil {
+		return err
+	}
+	switch u.Kind {
+	case Insert:
+		if u.New == nil {
+			return fmt.Errorf("xupdate: insert without a node spec")
+		}
+		if u.New.Name == "" {
+			return fmt.Errorf("xupdate: insert spec without a name")
+		}
+	case Rename:
+		if u.NewName == "" {
+			return fmt.Errorf("xupdate: rename without a new name")
+		}
+	case Transpose:
+		if _, err := u.Target2Query(); err != nil {
+			return err
+		}
+	case Remove, Change:
+		// No extra fields required.
+	default:
+		return fmt.Errorf("xupdate: unknown kind %d", int(u.Kind))
+	}
+	return nil
+}
+
+// undoAction is a single inverse step. Actions are replayed in reverse.
+type undoAction interface {
+	undo(doc *xmltree.Document, g *dataguide.DataGuide) error
+}
+
+// UndoRec collects the inverse of one applied update.
+type UndoRec struct {
+	actions []undoAction
+}
+
+// Empty reports whether the update had no effect (no targets matched).
+func (r *UndoRec) Empty() bool { return r == nil || len(r.actions) == 0 }
+
+// Undo reverts the update on doc and guide. Safe to call once.
+func (r *UndoRec) Undo(doc *xmltree.Document, g *dataguide.DataGuide) error {
+	if r == nil {
+		return nil
+	}
+	for i := len(r.actions) - 1; i >= 0; i-- {
+		if err := r.actions[i].undo(doc, g); err != nil {
+			return err
+		}
+	}
+	r.actions = nil
+	return nil
+}
+
+type undoInsert struct{ node *xmltree.Node }
+
+func (a undoInsert) undo(doc *xmltree.Document, g *dataguide.DataGuide) error {
+	g.RemoveSubtree(a.node)
+	_, err := doc.Detach(a.node)
+	return err
+}
+
+type undoRemove struct {
+	parent *xmltree.Node
+	node   *xmltree.Node
+	idx    int
+}
+
+func (a undoRemove) undo(doc *xmltree.Document, g *dataguide.DataGuide) error {
+	if err := doc.AttachChildAt(a.parent, a.node, a.idx); err != nil {
+		return err
+	}
+	return g.AddSubtree(a.node)
+}
+
+type undoRename struct {
+	node    *xmltree.Node
+	oldName string
+}
+
+func (a undoRename) undo(doc *xmltree.Document, g *dataguide.DataGuide) error {
+	g.RemoveSubtree(a.node)
+	a.node.Name = a.oldName
+	return g.AddSubtree(a.node)
+}
+
+type undoChangeText struct {
+	node    *xmltree.Node
+	oldText string
+}
+
+func (a undoChangeText) undo(*xmltree.Document, *dataguide.DataGuide) error {
+	a.node.Text = a.oldText
+	return nil
+}
+
+type undoChangeAttr struct {
+	node    *xmltree.Node
+	attr    string
+	oldVal  string
+	existed bool
+}
+
+func (a undoChangeAttr) undo(*xmltree.Document, *dataguide.DataGuide) error {
+	if a.existed {
+		a.node.SetAttr(a.attr, a.oldVal)
+	} else {
+		a.node.RemoveAttr(a.attr)
+	}
+	return nil
+}
+
+type undoTranspose struct{ a, b *xmltree.Node }
+
+func (a undoTranspose) undo(doc *xmltree.Document, g *dataguide.DataGuide) error {
+	if err := doc.Transpose(a.a, a.b); err != nil {
+		return err
+	}
+	if err := g.Move(a.a); err != nil {
+		return err
+	}
+	return g.Move(a.b)
+}
+
+// Apply evaluates the update's target path(s) and applies the operation to
+// every matched node, maintaining the DataGuide, and returns the undo
+// record together with the affected target nodes. An update whose target
+// matches nothing is a no-op with an empty undo record.
+func Apply(u *Update, doc *xmltree.Document, g *dataguide.DataGuide) (*UndoRec, []*xmltree.Node, error) {
+	if err := u.Validate(); err != nil {
+		return nil, nil, err
+	}
+	q, err := u.TargetQuery()
+	if err != nil {
+		return nil, nil, err
+	}
+	targets := xpath.Eval(q, doc)
+	rec, err := ApplyToTargets(u, doc, g, targets)
+	return rec, targets, err
+}
+
+// ApplyToTargets applies the update to the given pre-evaluated target nodes.
+// The scheduler uses this form so the target evaluation it performed for
+// lock acquisition is not repeated.
+func ApplyToTargets(u *Update, doc *xmltree.Document, g *dataguide.DataGuide, targets []*xmltree.Node) (*UndoRec, error) {
+	rec := &UndoRec{}
+	fail := func(err error) (*UndoRec, error) {
+		// Roll back any partial effects of this update before reporting.
+		if uerr := rec.Undo(doc, g); uerr != nil {
+			return nil, fmt.Errorf("%w (and undo failed: %v)", err, uerr)
+		}
+		return nil, err
+	}
+	switch u.Kind {
+	case Insert:
+		for _, target := range targets {
+			n, err := u.New.Build(doc)
+			if err != nil {
+				return fail(err)
+			}
+			if err := doc.AttachAt(target, n, u.Pos); err != nil {
+				return fail(err)
+			}
+			if err := g.AddSubtree(n); err != nil {
+				return fail(err)
+			}
+			rec.actions = append(rec.actions, undoInsert{node: n})
+		}
+	case Remove:
+		for _, target := range targets {
+			parent := target.Parent
+			g.RemoveSubtree(target)
+			idx, err := doc.Detach(target)
+			if err != nil {
+				// Re-register before failing: the subtree is still attached.
+				if aerr := g.AddSubtree(target); aerr != nil {
+					return nil, fmt.Errorf("%w (and guide restore failed: %v)", err, aerr)
+				}
+				return fail(err)
+			}
+			rec.actions = append(rec.actions, undoRemove{parent: parent, node: target, idx: idx})
+		}
+	case Rename:
+		for _, target := range targets {
+			old := target.Name
+			g.RemoveSubtree(target)
+			target.Name = u.NewName
+			if err := g.AddSubtree(target); err != nil {
+				target.Name = old
+				return fail(err)
+			}
+			rec.actions = append(rec.actions, undoRename{node: target, oldName: old})
+		}
+	case Change:
+		for _, target := range targets {
+			if u.Attr != "" {
+				prev, existed := target.SetAttr(u.Attr, u.Value)
+				rec.actions = append(rec.actions, undoChangeAttr{node: target, attr: u.Attr, oldVal: prev, existed: existed})
+			} else {
+				rec.actions = append(rec.actions, undoChangeText{node: target, oldText: target.Text})
+				target.Text = u.Value
+			}
+		}
+	case Transpose:
+		q2, err := u.Target2Query()
+		if err != nil {
+			return fail(err)
+		}
+		targets2 := xpath.Eval(q2, doc)
+		if len(targets) != 1 || len(targets2) != 1 {
+			return fail(fmt.Errorf("xupdate: transpose requires exactly one node per path (got %d and %d)", len(targets), len(targets2)))
+		}
+		a, b := targets[0], targets2[0]
+		if err := doc.Transpose(a, b); err != nil {
+			return fail(err)
+		}
+		if err := g.Move(a); err != nil {
+			return fail(err)
+		}
+		if err := g.Move(b); err != nil {
+			return fail(err)
+		}
+		rec.actions = append(rec.actions, undoTranspose{a: a, b: b})
+	default:
+		return fail(fmt.Errorf("xupdate: unknown kind %d", int(u.Kind)))
+	}
+	return rec, nil
+}

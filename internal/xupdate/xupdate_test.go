@@ -1,0 +1,367 @@
+package xupdate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataguide"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+const productsXML = `
+<products>
+  <product id="prod1"><id>4</id><description>Mouse</description><price>10.30</price></product>
+  <product id="prod2"><id>14</id><description>Keyboard</description><price>9.90</price></product>
+</products>`
+
+func setup(t *testing.T) (*xmltree.Document, *dataguide.DataGuide) {
+	t.Helper()
+	doc, err := xmltree.ParseString("d2", productsXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, dataguide.Build(doc)
+}
+
+func mustEval(t *testing.T, doc *xmltree.Document, q string) []*xmltree.Node {
+	t.Helper()
+	return xpath.Eval(xpath.MustParse(q), doc)
+}
+
+// productSpec mirrors the paper's scenario: insert a product "Mouse" priced
+// 10.30 with identifier 13.
+func productSpec(id, desc, price string) *NodeSpec {
+	return &NodeSpec{
+		Name: "product",
+		Children: []*NodeSpec{
+			{Name: "id", Text: id},
+			{Name: "description", Text: desc},
+			{Name: "price", Text: price},
+		},
+	}
+}
+
+func TestInsertInto(t *testing.T) {
+	doc, g := setup(t)
+	u := &Update{Kind: Insert, Target: "/products", Pos: xmltree.Into, New: productSpec("13", "Mouse2", "10.30")}
+	rec, targets, err := Apply(u, doc, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("targets = %d", len(targets))
+	}
+	got := mustEval(t, doc, "//product[id='13']/description")
+	if len(got) != 1 || got[0].Text != "Mouse2" {
+		t.Fatalf("inserted product not found: %v", got)
+	}
+	if len(g.Lookup("/products/product").Extent) != 3 {
+		t.Fatal("guide extent not maintained")
+	}
+	if err := rec.Undo(doc, g); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustEval(t, doc, "//product[id='13']"); len(got) != 0 {
+		t.Fatal("undo left inserted product")
+	}
+	if len(g.Lookup("/products/product").Extent) != 2 {
+		t.Fatal("guide extent not restored")
+	}
+}
+
+func TestInsertBeforeAfter(t *testing.T) {
+	doc, g := setup(t)
+	u := &Update{Kind: Insert, Target: "/products/product[id='14']", Pos: xmltree.Before, New: productSpec("1", "First", "0.01")}
+	if _, _, err := Apply(u, doc, g); err != nil {
+		t.Fatal(err)
+	}
+	ids := mustEval(t, doc, "/products/product/id")
+	want := []string{"4", "1", "14"}
+	for i, n := range ids {
+		if n.Text != want[i] {
+			t.Fatalf("order after insert-before: pos %d = %s, want %s", i, n.Text, want[i])
+		}
+	}
+	u2 := &Update{Kind: Insert, Target: "/products/product[id='14']", Pos: xmltree.After, New: productSpec("99", "Last", "9.99")}
+	if _, _, err := Apply(u2, doc, g); err != nil {
+		t.Fatal(err)
+	}
+	ids = mustEval(t, doc, "/products/product/id")
+	want = []string{"4", "1", "14", "99"}
+	for i, n := range ids {
+		if n.Text != want[i] {
+			t.Fatalf("order after insert-after: pos %d = %s, want %s", i, n.Text, want[i])
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	doc, g := setup(t)
+	before := doc.Clone()
+	u := &Update{Kind: Remove, Target: "//product[id='4']"}
+	rec, _, err := Apply(u, doc, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustEval(t, doc, "//product"); len(got) != 1 {
+		t.Fatalf("remove left %d products", len(got))
+	}
+	if len(g.Lookup("/products/product").Extent) != 1 {
+		t.Fatal("guide extent not shrunk")
+	}
+	if err := rec.Undo(doc, g); err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(before, doc) {
+		t.Fatalf("undo did not restore document:\n%s", doc.String())
+	}
+}
+
+func TestRemoveAllTargets(t *testing.T) {
+	doc, g := setup(t)
+	u := &Update{Kind: Remove, Target: "//price"}
+	rec, targets, err := Apply(u, doc, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 2 {
+		t.Fatalf("targets = %d, want 2", len(targets))
+	}
+	if got := mustEval(t, doc, "//price"); len(got) != 0 {
+		t.Fatal("prices remain")
+	}
+	if err := rec.Undo(doc, g); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustEval(t, doc, "//price"); len(got) != 2 {
+		t.Fatal("undo did not restore both prices")
+	}
+}
+
+func TestRename(t *testing.T) {
+	doc, g := setup(t)
+	before := doc.Clone()
+	u := &Update{Kind: Rename, Target: "//description", NewName: "desc"}
+	rec, _, err := Apply(u, doc, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustEval(t, doc, "//desc"); len(got) != 2 {
+		t.Fatalf("renamed nodes = %d", len(got))
+	}
+	if g.Lookup("/products/product/desc") == nil {
+		t.Fatal("guide missing renamed path")
+	}
+	if len(g.Lookup("/products/product/description").Extent) != 0 {
+		t.Fatal("old path extent not emptied")
+	}
+	if err := rec.Undo(doc, g); err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(before, doc) {
+		t.Fatal("undo did not restore names")
+	}
+}
+
+func TestChangeText(t *testing.T) {
+	doc, g := setup(t)
+	u := &Update{Kind: Change, Target: "//product[id='4']/price", Value: "12.00"}
+	rec, _, err := Apply(u, doc, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustEval(t, doc, "//product[id='4']/price"); got[0].Text != "12.00" {
+		t.Fatalf("price = %s", got[0].Text)
+	}
+	if err := rec.Undo(doc, g); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustEval(t, doc, "//product[id='4']/price"); got[0].Text != "10.30" {
+		t.Fatalf("price after undo = %s", got[0].Text)
+	}
+}
+
+func TestChangeAttr(t *testing.T) {
+	doc, g := setup(t)
+	u := &Update{Kind: Change, Target: "//product[id='4']", Attr: "id", Value: "prodX"}
+	rec, _, err := Apply(u, doc, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := mustEval(t, doc, "//product[id='4']")[0]
+	if v, _ := n.Attr("id"); v != "prodX" {
+		t.Fatalf("attr = %s", v)
+	}
+	// Changing a brand-new attribute must undo to absent.
+	u2 := &Update{Kind: Change, Target: "//product[id='4']", Attr: "flag", Value: "on"}
+	rec2, _, err := Apply(u2, doc, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec2.Undo(doc, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.Attr("flag"); ok {
+		t.Fatal("undo left new attribute")
+	}
+	if err := rec.Undo(doc, g); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := n.Attr("id"); v != "prod1" {
+		t.Fatalf("attr after undo = %s", v)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	doc, g := setup(t)
+	before := doc.Clone()
+	u := &Update{Kind: Transpose, Target: "//product[id='4']", Target2: "//product[id='14']"}
+	rec, _, err := Apply(u, doc, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := mustEval(t, doc, "/products/product/id")
+	if ids[0].Text != "14" || ids[1].Text != "4" {
+		t.Fatalf("transpose order: %s,%s", ids[0].Text, ids[1].Text)
+	}
+	if err := rec.Undo(doc, g); err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(before, doc) {
+		t.Fatal("undo did not restore order")
+	}
+}
+
+func TestTransposeArityErrors(t *testing.T) {
+	doc, g := setup(t)
+	u := &Update{Kind: Transpose, Target: "//product", Target2: "//product[id='14']"}
+	if _, _, err := Apply(u, doc, g); err == nil {
+		t.Fatal("expected arity error for multi-target transpose")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Update{
+		{Kind: Insert, Target: "/p"},                           // no spec
+		{Kind: Insert, Target: "/p", New: &NodeSpec{}},         // unnamed spec
+		{Kind: Rename, Target: "/p"},                           // no new name
+		{Kind: Transpose, Target: "/p"},                        // no second path
+		{Kind: Transpose, Target: "/p", Target2: "not-a-path"}, // bad second path
+		{Kind: Remove, Target: "bad path"},                     // bad path
+		{Kind: Kind(99), Target: "/p"},                         // unknown kind
+	}
+	for i, u := range bad {
+		if err := u.Validate(); err == nil {
+			t.Errorf("case %d (%v): expected validation error", i, u)
+		}
+	}
+	good := &Update{Kind: Change, Target: "/p/q", Value: "v"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good update rejected: %v", err)
+	}
+}
+
+func TestNoTargetsIsNoop(t *testing.T) {
+	doc, g := setup(t)
+	before := doc.Clone()
+	u := &Update{Kind: Remove, Target: "//nothing"}
+	rec, targets, err := Apply(u, doc, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 0 || !rec.Empty() {
+		t.Fatal("no-op should have no targets and empty undo")
+	}
+	if !xmltree.Equal(before, doc) {
+		t.Fatal("no-op changed document")
+	}
+}
+
+// randomUpdate builds a random valid update against the products document.
+func randomUpdate(rng *rand.Rand) *Update {
+	switch rng.Intn(5) {
+	case 0:
+		return &Update{Kind: Insert, Target: "/products", Pos: xmltree.Pos(rng.Intn(3)),
+			New: productSpec("50", "Thing", "1.00")}
+	case 1:
+		return &Update{Kind: Remove, Target: "//product[id='4']"}
+	case 2:
+		return &Update{Kind: Rename, Target: "//description", NewName: "d2"}
+	case 3:
+		return &Update{Kind: Change, Target: "//price", Value: "7.77"}
+	default:
+		return &Update{Kind: Transpose, Target: "//product[id='4']", Target2: "//product[id='14']"}
+	}
+}
+
+// Property: apply followed by undo restores both the document and the
+// DataGuide extents exactly.
+func TestPropertyApplyUndoIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc, err := xmltree.ParseString("d2", productsXML)
+		if err != nil {
+			return false
+		}
+		g := dataguide.Build(doc)
+		before := doc.Clone()
+		// Apply a random chain of 1..4 updates, then undo in reverse.
+		n := 1 + rng.Intn(4)
+		var recs []*UndoRec
+		for i := 0; i < n; i++ {
+			u := randomUpdate(rng)
+			if u.Kind == Insert && u.Pos != xmltree.Into {
+				// before/after need a non-root target
+				u.Target = "/products/product[1]"
+			}
+			rec, _, err := Apply(u, doc, g)
+			if err != nil {
+				if u.Kind == Transpose {
+					// A prior remove can make the transpose arity check fail;
+					// the failed apply must have rolled itself back, so the
+					// chain can continue.
+					continue
+				}
+				return false
+			}
+			recs = append(recs, rec)
+		}
+		for i := len(recs) - 1; i >= 0; i-- {
+			if err := recs[i].Undo(doc, g); err != nil {
+				return false
+			}
+		}
+		if !xmltree.Equal(before, doc) {
+			return false
+		}
+		// Guide extents must match a fresh build.
+		fresh := dataguide.Build(doc)
+		for _, p := range fresh.Paths() {
+			if len(fresh.Lookup(p).Extent) != len(g.Lookup(p).Extent) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	us := []*Update{
+		{Kind: Insert, Target: "/p", Pos: xmltree.Into, New: &NodeSpec{Name: "x"}},
+		{Kind: Remove, Target: "/p"},
+		{Kind: Rename, Target: "/p", NewName: "q"},
+		{Kind: Change, Target: "/p", Value: "v"},
+		{Kind: Change, Target: "/p", Attr: "a", Value: "v"},
+		{Kind: Transpose, Target: "/p", Target2: "/q"},
+	}
+	for _, u := range us {
+		if u.String() == "" || u.String() == "unknown update" {
+			t.Errorf("bad string for %v: %q", u.Kind, u.String())
+		}
+	}
+}
