@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig8 | fig9 | fig10 | fig11a | fig11b | fig12 | all")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = none); on expiry in-flight transactions abort and the bench stops")
 	scaleName := flag.String("scale", "quick", "preset: quick | paper")
 	base := flag.Int("base", 0, "override base document size in bytes")
 	clientDiv := flag.Int("clientdiv", 0, "override client-count divisor")
@@ -55,7 +57,17 @@ func main() {
 		sc.Seed = *seed
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *exp == "fig8" || *exp == "all" {
+		if ctx.Err() != nil {
+			fatal(fmt.Errorf("timeout reached before fig8"))
+		}
 		table, err := harness.Fig8(sc.BaseBytes, sc.Seed, []int{2, 4, 8})
 		if err != nil {
 			fatal(err)
@@ -66,7 +78,7 @@ func main() {
 		}
 	}
 
-	runners := map[string]func(harness.Scale) ([]harness.Figure, error){
+	runners := map[string]func(context.Context, harness.Scale) ([]harness.Figure, error){
 		"fig9":   harness.Fig9,
 		"fig10":  harness.Fig10,
 		"fig11a": harness.Fig11a,
@@ -86,8 +98,11 @@ func main() {
 	fmt.Printf("dtxbench: scale=%s base=%dKB clientdiv=%d latency=%v seed=%d\n\n",
 		*scaleName, sc.BaseBytes>>10, sc.ClientDiv, sc.Latency, sc.Seed)
 	for _, name := range names {
+		if ctx.Err() != nil {
+			fatal(fmt.Errorf("timeout reached before %s", name))
+		}
 		start := time.Now()
-		figs, err := runners[name](sc)
+		figs, err := runners[name](ctx, sc)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}

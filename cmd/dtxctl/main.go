@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,9 +36,17 @@ func (s *stringList) Set(v string) error {
 
 func main() {
 	addr := flag.String("addr", "localhost:7070", "dtxd site address")
+	timeout := flag.Duration("timeout", 0, "overall transaction timeout (0 = none); on expiry the transaction is aborted and its locks released")
 	var opSpecs stringList
 	flag.Var(&opSpecs, "op", "operation (repeatable): query|insert|remove|rename|change|transpose ...")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if len(opSpecs) == 0 {
 		fatal(fmt.Errorf("no operations; use -op (see -h)"))
@@ -62,7 +72,7 @@ func main() {
 	defer node.Close()
 	node.SetPeer(0, *addr)
 
-	resp, err := node.Send(0, transport.SubmitReq{Ops: ops})
+	resp, err := node.Send(ctx, 0, transport.SubmitReq{Ops: ops})
 	if err != nil {
 		fatal(err)
 	}
@@ -82,6 +92,12 @@ func main() {
 		for _, r := range rs {
 			fmt.Printf("  %s\n", r)
 		}
+	}
+	// The typed outcome crosses the wire as a code; deadlock victims exit
+	// distinctly so scripts know a resubmission is safe.
+	if outcome := txn.FromCode(sub.Code, ""); errors.Is(outcome, txn.ErrDeadlock) {
+		fmt.Println("deadlock victim: safe to resubmit")
+		os.Exit(3)
 	}
 	if sub.State != "committed" {
 		os.Exit(2)

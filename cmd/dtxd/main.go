@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -126,9 +127,12 @@ func main() {
 	fmt.Printf("dtxd: site %d serving on %s (protocol %s, %d peer(s))\n",
 		*siteID, node.Addr(), proto.Name(), len(peerAddrs))
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	// Stop on SIGINT/SIGTERM. Stopping the site cancels every live
+	// transaction session coordinated here: waiters are unblocked and their
+	// locks released before the process exits.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	<-ctx.Done()
 	fmt.Println("dtxd: shutting down")
 	site.Stop()
 }

@@ -1,28 +1,42 @@
 // Package dtx is the public API of this DTX reproduction — a distributed
 // concurrency-control mechanism for XML data (Moreira, Sousa, Machado;
 // ICPP'09 / JCSS 2011). A Cluster runs one DTX instance ("site") per
-// configured site over an in-process network; clients submit transactions —
-// sequences of XPath queries and update-language operations — to any site,
-// which coordinates distributed execution under the configured locking
+// configured site over an in-process network; clients run transactions —
+// sequences of XPath queries and update-language operations — against any
+// site, which coordinates distributed execution under the configured locking
 // protocol (XDGL by default) with strict 2PL, distributed commit/abort and
 // periodic distributed deadlock detection.
 //
-// Quickstart:
+// The primary surface is the interactive transaction handle: Begin opens a
+// Txn whose every step executes immediately and returns its result, so a
+// client can read, branch on what it read, and write — while the locks of
+// every prior step are still held:
 //
 //	cluster, _ := dtx.New(dtx.Config{Sites: 2})
 //	defer cluster.Close()
 //	cluster.LoadXML("d1", "<people><person><id>4</id></person></people>")
-//	res, _ := cluster.Submit(0,
-//	    dtx.Query("d1", "//person[id='4']"),
-//	    dtx.Insert("d1", "/people", dtx.Into,
-//	        dtx.Elem("person", "", dtx.Elem("id", "22"))),
-//	)
-//	fmt.Println(res.Committed)
+//
+//	txn, _ := cluster.Begin(ctx, 0)
+//	ids, _ := txn.Query("d1", "//person/id")
+//	if len(ids) < 10 { // branch on what we read, locks still held
+//	    txn.Insert("d1", "/people", dtx.Into,
+//	        dtx.Elem("person", "", dtx.Elem("id", "22")))
+//	}
+//	err := txn.Commit()
+//
+// Cancelling the Begin context aborts the transaction and releases its locks
+// at every participant site. Failures are typed — ErrDeadlock, ErrAborted,
+// ErrUnknownDocument, ErrSiteOutOfRange, ErrTxnFailed, ErrTxnDone — and
+// compose with errors.Is; see errors.go for the taxonomy.
+//
+// Submit runs a whole operation list as one transaction (a convenience
+// wrapper over Begin/step/Commit), and SubmitWithRetry additionally
+// resubmits deadlock victims under a bounded backoff policy.
 package dtx
 
 import (
+	"context"
 	"fmt"
-	"strings"
 	"time"
 
 	"repro/internal/lock"
@@ -176,13 +190,21 @@ func (c *Cluster) LoadXML(name, xml string, sites ...int) error {
 	}
 	for _, sid := range sites {
 		if sid < 0 || sid >= len(c.sites) {
-			return fmt.Errorf("dtx: site %d out of range", sid)
+			return fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, sid, len(c.sites))
 		}
-		doc, err := xmltree.ParseString(name, xml)
-		if err != nil {
-			return err
+	}
+	// Parse once, deep-clone per replica site: re-parsing the same text at
+	// every site is pure waste for large documents.
+	doc, err := xmltree.ParseString(name, xml)
+	if err != nil {
+		return err
+	}
+	for i, sid := range sites {
+		replicaDoc := doc
+		if i < len(sites)-1 {
+			replicaDoc = doc.Clone()
 		}
-		if err := c.sites[sid].AddDocument(doc); err != nil {
+		if err := c.sites[sid].AddDocument(replicaDoc); err != nil {
 			return err
 		}
 	}
@@ -221,11 +243,11 @@ func (c *Cluster) SitesOf(doc string) []int { return c.catalog.Sites(doc) }
 // in memory at the given site.
 func (c *Cluster) DocumentXML(site int, name string) (string, error) {
 	if site < 0 || site >= len(c.sites) {
-		return "", fmt.Errorf("dtx: site %d out of range", site)
+		return "", fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.sites))
 	}
 	doc, err := c.sites[site].Document(name)
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("%w: %q at site %d", ErrUnknownDocument, name, site)
 	}
 	return doc.String(), nil
 }
@@ -236,7 +258,7 @@ type Stats = sched.Stats
 // SiteStats returns the counters of one site.
 func (c *Cluster) SiteStats(site int) (Stats, error) {
 	if site < 0 || site >= len(c.sites) {
-		return Stats{}, fmt.Errorf("dtx: site %d out of range", site)
+		return Stats{}, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.sites))
 	}
 	return c.sites[site].Stats(), nil
 }
@@ -245,7 +267,7 @@ func (c *Cluster) SiteStats(site int) (Stats, error) {
 // given site (Algorithm 4) in addition to the periodic background checks.
 func (c *Cluster) CheckDeadlocks(site int) (bool, error) {
 	if site < 0 || site >= len(c.sites) {
-		return false, fmt.Errorf("dtx: site %d out of range", site)
+		return false, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.sites))
 	}
 	return c.sites[site].CheckDeadlocks(), nil
 }
@@ -352,34 +374,37 @@ type Result struct {
 	Committed bool
 	// State is "committed", "aborted" or "failed".
 	State string
-	// Reason explains aborts ("deadlock: ...") and failures.
+	// Reason explains aborts and failures, mirroring the typed error.
 	Reason string
 	// Results holds, per operation, the string rendering of query matches
 	// (attribute value for /@attr queries, text content otherwise).
 	Results [][]string
 }
 
-// Submit runs a transaction with the given site as coordinator and blocks
-// until it commits, aborts or fails. Aborted transactions (e.g. deadlock
-// victims) may be resubmitted by the caller — DTX leaves that decision to
-// the application.
+// Submit runs the operations as one transaction with the given site as
+// coordinator and blocks until it commits, aborts or fails. It is a thin
+// convenience wrapper over Begin/step/Commit. On a non-committed outcome the
+// Result (still non-nil, carrying the transaction ID and any query results
+// gathered before the abort) is returned together with the typed terminal
+// error — errors.Is(err, ErrDeadlock) identifies victims worth resubmitting,
+// which SubmitWithRetry automates.
 func (c *Cluster) Submit(site int, ops ...Op) (*Result, error) {
+	return c.SubmitCtx(context.Background(), site, ops...)
+}
+
+// SubmitCtx is Submit bound to a context: cancellation aborts the
+// transaction and releases its locks at every participant site.
+func (c *Cluster) SubmitCtx(ctx context.Context, site int, ops ...Op) (*Result, error) {
 	if site < 0 || site >= len(c.sites) {
-		return nil, fmt.Errorf("dtx: site %d out of range", site)
+		return nil, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.sites))
 	}
 	inner := make([]txn.Operation, len(ops))
 	for i, op := range ops {
 		inner[i] = op.inner
 	}
-	res, err := c.sites[site].Submit(inner)
+	res, err := c.sites[site].SubmitCtx(ctx, inner)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		ID:        res.Txn.String(),
-		Committed: res.State == txn.Committed,
-		State:     strings.ToLower(res.State.String()),
-		Reason:    res.Reason,
-		Results:   res.Results,
-	}, nil
+	return result(res), res.Err
 }

@@ -1,0 +1,41 @@
+package dtx
+
+import (
+	"repro/internal/txn"
+)
+
+// Sentinel errors of the public API. Every transaction-terminating failure
+// returned by Cluster.Submit, Cluster.SubmitWithRetry and the Txn methods
+// wraps exactly one of these, so clients branch with errors.Is instead of
+// parsing reason strings:
+//
+//	res, err := cluster.Submit(0, ops...)
+//	switch {
+//	case err == nil:                          // committed
+//	case errors.Is(err, dtx.ErrDeadlock):     // victim — safe to resubmit
+//	case errors.Is(err, dtx.ErrUnknownDocument):
+//	    ...
+//	}
+//
+// Relationships: ErrDeadlock wraps ErrAborted (a deadlock victim is an
+// aborted transaction), and a cancellation-triggered abort additionally
+// wraps the context's cause (context.Canceled or context.DeadlineExceeded).
+var (
+	// ErrAborted: the transaction was rolled back cleanly — deadlock victim,
+	// context cancellation, or client Abort. All effects were undone and all
+	// locks released; resubmission is safe.
+	ErrAborted = txn.ErrAborted
+	// ErrDeadlock: the transaction was aborted as a deadlock victim (wraps
+	// ErrAborted). SubmitWithRetry retries exactly this class.
+	ErrDeadlock = txn.ErrDeadlock
+	// ErrTxnFailed: the transaction could not be resolved cleanly (an
+	// operation failed mid-flight or a participant rejected commit/abort).
+	ErrTxnFailed = txn.ErrFailed
+	// ErrUnknownDocument: an operation named a document no site holds.
+	ErrUnknownDocument = txn.ErrUnknownDocument
+	// ErrSiteOutOfRange: a site index does not exist in this cluster.
+	ErrSiteOutOfRange = txn.ErrSiteOutOfRange
+	// ErrTxnDone: a step or commit arrived after the transaction already
+	// reached a terminal state.
+	ErrTxnDone = txn.ErrTxnDone
+)

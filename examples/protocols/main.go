@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,8 +21,13 @@ func main() {
 	fmt.Printf("%-10s %12s %12s %10s %10s %10s\n",
 		"protocol", "resp (ms)", "tput (tx/s)", "commits", "aborts", "deadlocks")
 
+	// A deadline on the whole comparison: if a protocol run wedges, its
+	// in-flight transactions are aborted and their locks released.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
 	for _, proto := range []string{"xdgl", "node2pl", "doclock"} {
-		res, err := harness.Run(harness.Params{
+		res, err := harness.RunCtx(ctx, harness.Params{
 			Sites:       4,
 			Clients:     12,
 			TxPerClient: 5,

@@ -1,11 +1,15 @@
-// Quickstart: a two-site DTX cluster with a totally replicated document.
-// One transaction queries a person, inserts a new one, and reads the result
-// back; the committed insert is then visible at both sites.
+// Quickstart: a two-site DTX cluster with a totally replicated document,
+// driven through an interactive transaction. The client reads, branches on
+// what it read — the locks of the read are still held, so the decision
+// cannot be invalidated by a concurrent writer — then updates and commits;
+// the committed insert is visible at both sites.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	dtx "repro"
 )
@@ -28,21 +32,39 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := cluster.Submit(0,
-		dtx.Query("d1", "//person[id='4']/name"),
-		dtx.Insert("d1", "/people", dtx.Into,
-			dtx.Elem("person", "",
-				dtx.Elem("id", "22"),
-				dtx.Elem("name", "Patricia"))),
-		dtx.Query("d1", "//person/name"),
-	)
+	// The context bounds the whole transaction: if the deadline expires
+	// mid-flight, the transaction aborts and every lock is released.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	txn, err := cluster.Begin(ctx, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
+	names, err := txn.Query("d1", "//person[id='4']/name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transaction %s read person 4 as: %v\n", txn.ID(), names)
 
-	fmt.Printf("transaction %s: %s\n", res.ID, res.State)
-	fmt.Printf("person 4 is: %v\n", res.Results[0])
-	fmt.Printf("all persons after insert: %v\n", res.Results[2])
+	// Branch on what we read: only register Patricia if Ana is present.
+	if len(names) == 1 && names[0] == "Ana" {
+		err = txn.Insert("d1", "/people", dtx.Into,
+			dtx.Elem("person", "",
+				dtx.Elem("id", "22"),
+				dtx.Elem("name", "Patricia")))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	all, err := txn.Query("d1", "//person/name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all persons at commit: %v\n", all)
 
 	// The committed insert reached every replica.
 	for site := 0; site < cluster.Sites(); site++ {

@@ -1,15 +1,22 @@
-// Scenario reproduces the worked execution of the paper's §2.4 (Figs. 3–6):
-// two sites, document d1 (people) replicated at both, document d2 (products)
-// only at site s2. Client c1 submits t1 = (query person 4, insert product
-// Mouse); client c2 submits t2 = (query all products, insert person
-// Patricia). Their second operations block on each other's first-operation
-// locks — a distributed deadlock. The periodic check (Algorithm 4) finds the
-// circle in the union of the wait-for graphs and aborts the most recent
-// transaction (t2); t1 then commits, and the client's replacement
-// transaction t3 (query product 14, insert product Keyboard) runs cleanly.
+// Scenario reproduces the worked execution of the paper's §2.4 (Figs. 3–6)
+// on the interactive transaction API: two sites, document d1 (people)
+// replicated at both, document d2 (products) only at site s2. Client c1
+// runs t1 = (query person 4 → insert product Mouse); client c2 runs
+// t2 = (query all products → insert person Patricia). Each client reads
+// first and only then decides its write — the interactive pattern the
+// paper's transaction model assumes. Their second operations block on each
+// other's first-operation locks — a distributed deadlock. The periodic
+// check (Algorithm 4) finds the circle in the union of the wait-for graphs
+// and aborts the most recent transaction: t2's pending step returns an
+// error satisfying errors.Is(err, dtx.ErrDeadlock), its effects are undone
+// and its locks released; t1 then commits. The client inspects the typed
+// error, discards t2 and runs its replacement t3 (query product 14 →
+// insert product Keyboard) cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"sync"
@@ -32,11 +39,7 @@ const d2XML = `
 
 func main() {
 	cluster, err := dtx.New(dtx.Config{
-		Sites: 2,
-		// Think time between operations keeps both transactions alive long
-		// enough for their second operations to collide, as in the paper's
-		// narrative.
-		ClientThinkTime:       40 * time.Millisecond,
+		Sites:                 2,
 		DeadlockCheckInterval: 10 * time.Millisecond,
 	})
 	if err != nil {
@@ -52,63 +55,90 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	var wg sync.WaitGroup
-	var res1, res2 *dtx.Result
+	var err1, err2 error
+	var id1, id2 string
 	wg.Add(2)
-	go func() { // client c1 at site s1 submits t1
+	go func() { // client c1 at site s1 runs t1 interactively
 		defer wg.Done()
-		var err error
-		res1, err = cluster.Submit(0,
-			dtx.Query("d1", "//person[id='4']"),
-			dtx.Insert("d2", "/products", dtx.Into,
-				dtx.Elem("product", "",
-					dtx.Elem("id", "13"),
-					dtx.Elem("description", "Mouse"),
-					dtx.Elem("price", "10.30"))),
-		)
+		t1, err := cluster.Begin(ctx, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
+		id1 = t1.ID()
+		if _, err := t1.Query("d1", "//person[id='4']"); err != nil {
+			err1 = err
+			return
+		}
+		// Think time: the client inspects the person before deciding to
+		// order them a mouse, keeping t1 alive while t2 starts.
+		time.Sleep(40 * time.Millisecond)
+		if err := t1.Insert("d2", "/products", dtx.Into,
+			dtx.Elem("product", "",
+				dtx.Elem("id", "13"),
+				dtx.Elem("description", "Mouse"),
+				dtx.Elem("price", "10.30"))); err != nil {
+			err1 = err
+			return
+		}
+		err1 = t1.Commit()
 	}()
-	go func() { // client c2 at site s2 submits t2, just after t1
+	go func() { // client c2 at site s2 runs t2, just after t1
 		defer wg.Done()
 		time.Sleep(5 * time.Millisecond)
-		var err error
-		res2, err = cluster.Submit(1,
-			dtx.Query("d2", "//product"),
-			dtx.Insert("d1", "/people", dtx.Into,
-				dtx.Elem("person", "",
-					dtx.Elem("id", "22"),
-					dtx.Elem("name", "Patricia"))),
-		)
+		t2, err := cluster.Begin(ctx, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
+		id2 = t2.ID()
+		if _, err := t2.Query("d2", "//product"); err != nil {
+			err2 = err
+			return
+		}
+		time.Sleep(40 * time.Millisecond)
+		if err := t2.Insert("d1", "/people", dtx.Into,
+			dtx.Elem("person", "",
+				dtx.Elem("id", "22"),
+				dtx.Elem("name", "Patricia"))); err != nil {
+			err2 = err
+			return
+		}
+		err2 = t2.Commit()
 	}()
 	wg.Wait()
 
-	fmt.Printf("t1 (%s): %s\n", res1.ID, res1.State)
-	fmt.Printf("t2 (%s): %s", res2.ID, res2.State)
-	if res2.Reason != "" {
-		fmt.Printf("  [%s]", res2.Reason)
+	report := func(id string, err error) {
+		switch {
+		case err == nil:
+			fmt.Printf("%s: committed\n", id)
+		case errors.Is(err, dtx.ErrDeadlock):
+			fmt.Printf("%s: aborted as deadlock victim  [%v]\n", id, err)
+		default:
+			fmt.Printf("%s: %v\n", id, err)
+		}
 	}
-	fmt.Println()
+	report("t1 ("+id1+")", err1)
+	report("t2 ("+id2+")", err2)
 
 	// "It is the responsibility of the application client c2 to decide if
 	// it resubmits transaction t2 ... the client discards transaction t2
-	// and decides to execute transaction t3."
-	res3, err := cluster.Submit(1,
-		dtx.Query("d2", "//product[id='14']"),
-		dtx.Insert("d2", "/products", dtx.Into,
-			dtx.Elem("product", "",
-				dtx.Elem("id", "32"),
-				dtx.Elem("description", "Keyboard"),
-				dtx.Elem("price", "9.90"))),
-	)
-	if err != nil {
-		log.Fatal(err)
+	// and decides to execute transaction t3." The typed error is what makes
+	// that decision programmable.
+	if errors.Is(err2, dtx.ErrDeadlock) {
+		res3, err := cluster.Submit(1,
+			dtx.Query("d2", "//product[id='14']"),
+			dtx.Insert("d2", "/products", dtx.Into,
+				dtx.Elem("product", "",
+					dtx.Elem("id", "32"),
+					dtx.Elem("description", "Keyboard"),
+					dtx.Elem("price", "9.90"))),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t3 (%s): %s\n", res3.ID, res3.State)
 	}
-	fmt.Printf("t3 (%s): %s\n", res3.ID, res3.State)
 
 	check, err := cluster.Submit(1, dtx.Query("d2", "//product/description"))
 	if err != nil {

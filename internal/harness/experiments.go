@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -50,14 +51,14 @@ type Scale struct {
 
 // runAveraged runs the workload Reps times with distinct seeds and averages
 // response time and deadlock counts.
-func runAveraged(sc Scale, p Params) (respMs, deadlocks float64, err error) {
+func runAveraged(ctx context.Context, sc Scale, p Params) (respMs, deadlocks float64, err error) {
 	reps := sc.Reps
 	if reps < 1 {
 		reps = 1
 	}
 	for r := 0; r < reps; r++ {
 		p.Seed = sc.Seed + int64(r)*104729
-		res, rerr := Run(p)
+		res, rerr := RunCtx(ctx, p)
 		if rerr != nil {
 			return 0, 0, rerr
 		}
@@ -102,7 +103,7 @@ var protocols = []string{"xdgl", "node2pl"}
 // Fig9 — "Variation in the number of clients": response time for 10..50
 // clients, read-only transactions (5 tx × 5 ops each), under total and
 // partial replication. Returns one figure per replication mode.
-func Fig9(sc Scale) ([]Figure, error) {
+func Fig9(ctx context.Context, sc Scale) ([]Figure, error) {
 	clientAxis := []int{10, 20, 30, 40, 50}
 	var figs []Figure
 	for _, partial := range []bool{false, true} {
@@ -119,7 +120,7 @@ func Fig9(sc Scale) ([]Figure, error) {
 		for _, proto := range protocols {
 			series := Series{Label: protoLabel(proto)}
 			for _, nc := range clientAxis {
-				resp, _, err := runAveraged(sc, Params{
+				resp, _, err := runAveraged(ctx, sc, Params{
 					Sites: 4, Clients: sc.clients(nc), TxPerClient: 5, OpsPerTx: 5,
 					UpdateTxPct: 0, BaseBytes: sc.BaseBytes, Partial: partial,
 					Protocol: proto, Latency: sc.Latency, OpDelay: sc.OpDelay,
@@ -139,7 +140,7 @@ func Fig9(sc Scale) ([]Figure, error) {
 // Fig10 — "Variation in the update percentage": 50 clients, update-tx share
 // 20..60%, 20% update ops per update tx, partial replication. Returns the
 // response-time figure and the deadlock-count figure.
-func Fig10(sc Scale) ([]Figure, error) {
+func Fig10(ctx context.Context, sc Scale) ([]Figure, error) {
 	updAxis := []int{20, 30, 40, 50, 60}
 	respFig := Figure{
 		Name:   "fig10-resp",
@@ -157,7 +158,7 @@ func Fig10(sc Scale) ([]Figure, error) {
 		resp := Series{Label: protoLabel(proto)}
 		dl := Series{Label: protoLabel(proto)}
 		for _, upd := range updAxis {
-			r, d, err := runAveraged(sc, Params{
+			r, d, err := runAveraged(ctx, sc, Params{
 				Sites: 4, Clients: sc.clients(50), TxPerClient: 5, OpsPerTx: 5,
 				UpdateTxPct: upd, UpdateOpPct: 20, BaseBytes: sc.BaseBytes,
 				Partial: true, Protocol: proto, Latency: sc.Latency,
@@ -178,7 +179,7 @@ func Fig10(sc Scale) ([]Figure, error) {
 // Fig11a — "Variation in the size of the base": 50 clients, base size swept
 // over 4 steps standing in for the paper's 50..200 MB, partial replication,
 // 20%/20% updates. Returns response-time and deadlock figures.
-func Fig11a(sc Scale) ([]Figure, error) {
+func Fig11a(ctx context.Context, sc Scale) ([]Figure, error) {
 	// Size multipliers relative to the scale's base, mirroring 50..200MB.
 	mults := []int{1, 2, 3, 4}
 	respFig := Figure{
@@ -197,7 +198,7 @@ func Fig11a(sc Scale) ([]Figure, error) {
 		resp := Series{Label: protoLabel(proto)}
 		dl := Series{Label: protoLabel(proto)}
 		for _, m := range mults {
-			r, d, err := runAveraged(sc, Params{
+			r, d, err := runAveraged(ctx, sc, Params{
 				Sites: 4, Clients: sc.clients(50), TxPerClient: 5, OpsPerTx: 5,
 				UpdateTxPct: 20, UpdateOpPct: 20, BaseBytes: sc.BaseBytes * m,
 				Partial: true, Protocol: proto, Latency: sc.Latency,
@@ -217,7 +218,7 @@ func Fig11a(sc Scale) ([]Figure, error) {
 
 // Fig11b — "Variation in the number of sites": sites 2..8, fixed base
 // fragmented over the sites, 20%/20% updates, partial replication.
-func Fig11b(sc Scale) ([]Figure, error) {
+func Fig11b(ctx context.Context, sc Scale) ([]Figure, error) {
 	siteAxis := []int{2, 4, 6, 8}
 	respFig := Figure{
 		Name:   "fig11b-resp",
@@ -235,7 +236,7 @@ func Fig11b(sc Scale) ([]Figure, error) {
 		resp := Series{Label: protoLabel(proto)}
 		dl := Series{Label: protoLabel(proto)}
 		for _, ns := range siteAxis {
-			r, d, err := runAveraged(sc, Params{
+			r, d, err := runAveraged(ctx, sc, Params{
 				Sites: ns, Clients: sc.clients(50), TxPerClient: 5, OpsPerTx: 5,
 				UpdateTxPct: 20, UpdateOpPct: 20, BaseBytes: sc.BaseBytes,
 				Partial: true, Protocol: proto, Latency: sc.Latency,
@@ -258,7 +259,7 @@ func Fig11b(sc Scale) ([]Figure, error) {
 // time interval. The paper reports DTX finishing 218 tx in 1553 s against
 // Node2PL's 230 in 16500 s (≈10× slower); the shape to reproduce is
 // cumulative-commit curves with XDGL far steeper.
-func Fig12(sc Scale) ([]Figure, error) {
+func Fig12(ctx context.Context, sc Scale) ([]Figure, error) {
 	fig := Figure{
 		Name:   "fig12",
 		Title:  "Fig. 12 — cumulative committed transactions over time",
@@ -267,7 +268,7 @@ func Fig12(sc Scale) ([]Figure, error) {
 	}
 	var results []*Result
 	for _, proto := range protocols {
-		res, err := Run(Params{
+		res, err := RunCtx(ctx, Params{
 			Sites: 4, Clients: sc.clients(50), TxPerClient: 5, OpsPerTx: 5,
 			UpdateTxPct: 20, UpdateOpPct: 20, BaseBytes: sc.BaseBytes,
 			Partial: true, Protocol: proto, Latency: sc.Latency,
@@ -305,10 +306,10 @@ func Fig12(sc Scale) ([]Figure, error) {
 }
 
 // AllExperiments runs every figure at the given scale.
-func AllExperiments(sc Scale) ([]Figure, error) {
+func AllExperiments(ctx context.Context, sc Scale) ([]Figure, error) {
 	var out []Figure
-	for _, f := range []func(Scale) ([]Figure, error){Fig9, Fig10, Fig11a, Fig11b, Fig12} {
-		figs, err := f(sc)
+	for _, f := range []func(context.Context, Scale) ([]Figure, error){Fig9, Fig10, Fig11a, Fig11b, Fig12} {
+		figs, err := f(ctx, sc)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -165,7 +166,7 @@ func TestFig12SmallScale(t *testing.T) {
 		t.Skip("experiment sweep in -short mode")
 	}
 	sc := Scale{BaseBytes: 24 << 10, ClientDiv: 10, Seed: 3, Latency: 50 * time.Microsecond}
-	figs, err := Fig12(sc)
+	figs, err := Fig12(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestFig9SmallScale(t *testing.T) {
 		t.Skip("experiment sweep in -short mode")
 	}
 	sc := Scale{BaseBytes: 24 << 10, ClientDiv: 10, Seed: 3, Latency: 50 * time.Microsecond}
-	figs, err := Fig9(sc)
+	figs, err := Fig9(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}

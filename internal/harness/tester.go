@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -197,6 +198,13 @@ func BuildCluster(p Params, hook sched.HistoryHook) (*Cluster, error) {
 // ("it is the responsibility of the application client to decide if it
 // resubmits").
 func Run(p Params) (*Result, error) {
+	return RunCtx(context.Background(), p)
+}
+
+// RunCtx is Run bounded by a context: when it is cancelled, in-flight
+// transactions abort (releasing their locks) and clients stop submitting,
+// so a runaway experiment can be cut short cleanly.
+func RunCtx(ctx context.Context, p Params) (*Result, error) {
 	p = p.withDefaults()
 	var hook *History
 	var schedHook sched.HistoryHook
@@ -222,9 +230,12 @@ func Run(p Params) (*Result, error) {
 			rng := rand.New(rand.NewSource(p.Seed + int64(c)*7919))
 			site := cluster.Sites[c%len(cluster.Sites)]
 			for t := 0; t < p.TxPerClient; t++ {
+				if ctx.Err() != nil {
+					return
+				}
 				ops := buildTxn(p, cluster.Docs, rng, int64(c)*1000+int64(t))
 				t0 := time.Now()
-				r, err := site.Submit(ops)
+				r, err := site.SubmitCtx(ctx, ops)
 				lat := time.Since(t0)
 				mu.Lock()
 				if err != nil {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -9,131 +10,119 @@ import (
 	"repro/internal/txn"
 )
 
-// Submit runs a client transaction to completion at this site, which acts
-// as its coordinator (Algorithm 1). The call blocks until the transaction
-// commits, aborts or fails, and returns the outcome. An error is returned
-// only for malformed submissions.
+// validateOp rejects malformed operations before they reach any scheduler.
+func validateOp(i int, op txn.Operation) error {
+	if op.Doc == "" {
+		return fmt.Errorf("sched: operation %d has no document", i)
+	}
+	if op.Kind == txn.OpUpdate {
+		if op.Update == nil {
+			return fmt.Errorf("sched: operation %d is an update without a body", i)
+		}
+		if err := op.Update.Validate(); err != nil {
+			return fmt.Errorf("sched: operation %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Submit runs a batch transaction with this site as coordinator and blocks
+// until it commits, aborts or fails (Algorithm 1). An error is returned only
+// for malformed submissions; the transaction's own outcome — including its
+// typed terminal error — is in the Result.
 func (s *Site) Submit(ops []txn.Operation) (*Result, error) {
+	return s.SubmitCtx(context.Background(), ops)
+}
+
+// SubmitCtx is Submit bound to a context: it is a thin wrapper over the
+// interactive Session — Begin, one Exec per operation, Commit — so batch and
+// interactive transactions share one code path. Cancelling the context
+// aborts the transaction and releases its locks everywhere.
+func (s *Site) SubmitCtx(ctx context.Context, ops []txn.Operation) (*Result, error) {
 	if len(ops) == 0 {
 		return nil, fmt.Errorf("sched: empty transaction")
 	}
 	for i := range ops {
-		if ops[i].Doc == "" {
-			return nil, fmt.Errorf("sched: operation %d has no document", i)
+		if err := validateOp(i, ops[i]); err != nil {
+			return nil, err
 		}
-		if ops[i].Kind == txn.OpUpdate {
-			if ops[i].Update == nil {
-				return nil, fmt.Errorf("sched: operation %d is an update without a body", i)
+	}
+	sess, err := s.Begin(ctx)
+	if err != nil {
+		return nil, err
+	}
+	for i := range ops {
+		if i > 0 && s.cfg.OpDelay > 0 {
+			// Client think time between operations; a cancellation during
+			// the pause is observed by the next Exec (or by the session
+			// watcher, whichever gets there first).
+			timer := time.NewTimer(s.cfg.OpDelay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+			case <-s.stopCh:
+				timer.Stop()
 			}
-			if err := ops[i].Update.Validate(); err != nil {
-				return nil, fmt.Errorf("sched: operation %d: %w", i, err)
-			}
+		}
+		if _, err := sess.Exec(ops[i]); err != nil {
+			break
 		}
 	}
-
-	ct := s.beginTxn(ops)
-	id := ct.t.ID
-
-	reason, deadlock := s.runOps(ct)
-	var state txn.State
-	switch {
-	case reason == "":
-		if s.commitTransaction(ct) {
-			state = txn.Committed
-		} else {
-			state = txn.Failed
-			reason = "commit rejected at a participant site"
-		}
-	case reason == reasonFailed:
-		s.failTransaction(ct)
-		state = txn.Failed
-	default:
-		if s.abortTransaction(ct) {
-			state = txn.Aborted
-		} else {
-			state = txn.Failed
-		}
+	if !sess.Done() {
+		sess.Commit()
 	}
-
-	s.mu.Lock()
-	switch state {
-	case txn.Committed:
-		s.stats.TxnsCommitted++
-	case txn.Aborted:
-		s.stats.TxnsAborted++
-		if deadlock {
-			s.stats.DeadlockAborts++
-		}
-	case txn.Failed:
-		s.stats.TxnsFailed++
+	res := sess.Result()
+	// Batch callers index Results by operation position; pad for the
+	// operations an early abort never reached.
+	for len(res.Results) < len(ops) {
+		res.Results = append(res.Results, nil)
 	}
-	ct.t.State = state
-	delete(s.coord, id)
-	s.mu.Unlock()
-	if s.cfg.History != nil {
-		s.cfg.History.OnFinished(id, state == txn.Committed)
-	}
-
-	return &Result{Txn: id, State: state, Results: ct.results, Reason: reason}, nil
+	return res, nil
 }
 
-// reasonFailed is the sentinel reason for unrecoverable operation failures.
-const reasonFailed = "operation failed"
-
-func (s *Site) beginTxn(ops []txn.Operation) *coordTxn {
+func (s *Site) beginTxn() *coordTxn {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
 	id := txn.ID{Site: s.id, Seq: s.seq}
 	ts := s.clock.Tick()
 	ct := &coordTxn{
-		t:       txn.New(id, ts, ops),
-		wake:    make(chan struct{}, 1),
-		abortCh: make(chan string, 1),
-		sites:   make(map[int]bool),
-		results: make([][]string, len(ops)),
+		t:        txn.New(id, ts, nil),
+		wake:     make(chan struct{}, 1),
+		abortCh:  make(chan string, 1),
+		sites:    make(map[int]bool),
+		finished: make(chan struct{}),
 	}
 	s.coord[id] = ct
 	s.coordOf[id] = s.id
 	return ct
 }
 
-// runOps drives the operations of a transaction in order (Algorithm 1's
-// inner loop). It returns an empty reason on success, or the abort/fail
-// reason, plus whether the abort was due to a deadlock.
-func (s *Site) runOps(ct *coordTxn) (reason string, deadlock bool) {
-	for i := range ct.t.Ops {
-		if i > 0 && s.cfg.OpDelay > 0 {
-			select {
-			case <-time.After(s.cfg.OpDelay):
-			case <-s.stopCh:
-				return "site stopping", false
-			}
-		}
-		if r, dl := s.execOp(ct, i); r != "" {
-			return r, dl
-		}
-	}
-	return "", false
-}
-
-// execOp executes one operation at every site holding its document,
-// retrying with wait mode on lock conflicts (Algorithm 1, l. 5–23).
-func (s *Site) execOp(ct *coordTxn, opIdx int) (reason string, deadlock bool) {
+// execOp executes one operation at every site holding its document, retrying
+// with wait mode on lock conflicts (Algorithm 1, l. 5–23). It returns nil
+// once the operation executed everywhere, or the typed terminal error that
+// dooms the transaction: ErrDeadlock for victims, ErrUnknownDocument /
+// ErrFailed for unresolvable operations, ErrAborted wrapping the context
+// cause on cancellation.
+func (s *Site) execOp(ctx context.Context, ct *coordTxn, opIdx int) error {
 	op := ct.t.Ops[opIdx]
 	id, ts := ct.t.ID, ct.t.TS
 	for {
-		// A victim signal can arrive at any point while the operation
-		// retries; honour it before burning another attempt.
+		// A victim signal or cancellation can arrive at any point while the
+		// operation retries; honour them before burning another attempt.
 		select {
 		case r := <-ct.abortCh:
-			return "deadlock: " + r, true
+			return fmt.Errorf("%w: %s", txn.ErrDeadlock, r)
 		default:
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("%w: %w", txn.ErrAborted, context.Cause(ctx))
 		}
 
 		sites := s.cfg.Catalog.Sites(op.Doc)
 		if len(sites) == 0 {
-			return reasonFailed, false
+			return fmt.Errorf("%w: no site holds %q", txn.ErrUnknownDocument, op.Doc)
 		}
 
 		var res localResult
@@ -146,42 +135,49 @@ func (s *Site) execOp(ct *coordTxn, opIdx int) (reason string, deadlock bool) {
 			// Algorithm 1, l. 12–22: ship the operation to every
 			// participant holding the document (the coordinator included,
 			// if it holds a copy) and wait for all responses.
-			res = s.execRemote(ct, opIdx, op, sites)
+			res = s.execRemote(ctx, ct, opIdx, op, sites)
 		}
 
 		switch {
 		case res.failed:
-			return reasonFailed, false
+			msg := res.err
+			if msg == "" {
+				msg = "operation failed"
+			}
+			return txn.FromCode(res.code, msg)
 		case res.deadlock:
-			return "deadlock detected while locking", true
+			return fmt.Errorf("%w: deadlock detected while locking", txn.ErrDeadlock)
 		case res.executed:
 			if op.Kind == txn.OpQuery {
 				ct.results[opIdx] = res.results
 			}
 			ct.t.Ops[opIdx].Executed = true
-			return "", false
+			return nil
 		}
 
 		// Not acquired: wait mode (Algorithm 1, l. 9 / l. 17) until a
-		// wake-up, a victim signal, or the retry safety net.
+		// wake-up, a victim signal, cancellation, or the retry safety net.
 		timer := time.NewTimer(s.cfg.RetryInterval)
 		select {
 		case <-ct.wake:
 			timer.Stop()
 		case r := <-ct.abortCh:
 			timer.Stop()
-			return "deadlock: " + r, true
-		case <-timer.C:
+			return fmt.Errorf("%w: %s", txn.ErrDeadlock, r)
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("%w: %w", txn.ErrAborted, context.Cause(ctx))
 		case <-s.stopCh:
 			timer.Stop()
-			return "site stopping", false
+			return fmt.Errorf("%w: site stopping", txn.ErrAborted)
+		case <-timer.C:
 		}
 	}
 }
 
 // execRemote fans one operation out to all sites holding the document and
 // merges the participant statuses (Algorithm 1, l. 12–22).
-func (s *Site) execRemote(ct *coordTxn, opIdx int, op txn.Operation, sites []int) localResult {
+func (s *Site) execRemote(ctx context.Context, ct *coordTxn, opIdx int, op txn.Operation, sites []int) localResult {
 	id, ts := ct.t.ID, ct.t.TS
 	type siteResult struct {
 		site int
@@ -202,7 +198,7 @@ func (s *Site) execRemote(ct *coordTxn, opIdx int, op txn.Operation, sites []int
 			s.mu.Lock()
 			s.stats.RemoteOpsSent++
 			s.mu.Unlock()
-			resp, err := s.send(site, transport.ExecOpReq{
+			resp, err := s.send(ctx, site, transport.ExecOpReq{
 				Txn: id, TS: ts, Coordinator: s.id, OpIdx: opIdx, Op: op,
 			})
 			if err != nil {
@@ -219,6 +215,7 @@ func (s *Site) execRemote(ct *coordTxn, opIdx int, op txn.Operation, sites []int
 				acquired: r.AcquireLocking,
 				deadlock: r.Deadlock,
 				failed:   r.Failed,
+				code:     r.Code,
 				err:      r.Error,
 				results:  r.Results,
 			}}
@@ -230,14 +227,22 @@ func (s *Site) execRemote(ct *coordTxn, opIdx int, op txn.Operation, sites []int
 	anyExecuted := false
 	for _, sr := range results {
 		if sr.err != nil {
-			// Communication failure: the operation fails, the transaction
-			// will be aborted (and may itself fail).
+			// Communication failure (or a send abandoned by cancellation):
+			// the operation fails; an abort follows. If the cancellation is
+			// the cause, it wins over the failure classification so the
+			// client sees ErrAborted, not ErrFailed.
 			merged.failed = true
+			if ctx.Err() != nil {
+				merged.code = txn.CodeAborted
+			}
 			merged.err = sr.err.Error()
 			continue
 		}
 		if sr.res.failed {
 			merged.failed = true
+			if merged.code == txn.CodeNone {
+				merged.code = sr.res.code
+			}
 			merged.err = sr.res.err
 		}
 		if sr.res.deadlock {
@@ -272,13 +277,15 @@ func (s *Site) execRemote(ct *coordTxn, opIdx int, op txn.Operation, sites []int
 	return merged
 }
 
-// undoOpEverywhere undoes one operation at one site (local or remote).
+// undoOpEverywhere undoes one operation at one site (local or remote). Undo
+// is cleanup and must not be cut short by the client's cancellation, so it
+// runs detached from the transaction context.
 func (s *Site) undoOpEverywhere(id txn.ID, opIdx int, site int) {
 	if site == s.id {
 		s.undoOpLocal(id, opIdx)
 		return
 	}
-	_, _ = s.send(site, transport.UndoOpReq{Txn: id, OpIdx: opIdx})
+	_, _ = s.send(context.Background(), site, transport.UndoOpReq{Txn: id, OpIdx: opIdx})
 }
 
 // commitTransaction is Algorithm 5: ask every involved site to consolidate;
@@ -289,7 +296,7 @@ func (s *Site) commitTransaction(ct *coordTxn) bool {
 		if site == s.id {
 			continue
 		}
-		resp, err := s.send(site, transport.CommitReq{Txn: id})
+		resp, err := s.send(context.Background(), site, transport.CommitReq{Txn: id})
 		ack, _ := resp.(transport.Ack)
 		if err != nil || !ack.OK {
 			// Algorithm 5, l. 5–7: commit rejected — abort the transaction.
@@ -307,14 +314,16 @@ func (s *Site) commitTransaction(ct *coordTxn) bool {
 
 // abortTransaction is Algorithm 6: ask every involved site to cancel; if a
 // site cannot, escalate to failure everywhere. Returns true if the abort
-// completed cleanly (false means the transaction failed).
+// completed cleanly (false means the transaction failed). Abort must run to
+// completion even when triggered by a cancelled client context — it is what
+// releases the locks — so its messages are sent detached.
 func (s *Site) abortTransaction(ct *coordTxn) bool {
 	id := ct.t.ID
 	for site := range ct.sites {
 		if site == s.id {
 			continue
 		}
-		resp, err := s.send(site, transport.AbortReq{Txn: id})
+		resp, err := s.send(context.Background(), site, transport.AbortReq{Txn: id})
 		ack, _ := resp.(transport.Ack)
 		if err != nil || !ack.OK {
 			// Algorithm 6, l. 5–10: cancellation impossible somewhere —
@@ -334,7 +343,7 @@ func (s *Site) failTransaction(ct *coordTxn) {
 		if site == s.id {
 			continue
 		}
-		_, _ = s.send(site, transport.FailReq{Txn: id})
+		_, _ = s.send(context.Background(), site, transport.FailReq{Txn: id})
 	}
 	s.failLocal(id)
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/transport"
@@ -46,7 +47,7 @@ func (s *Site) CheckDeadlocks() bool {
 		if site == s.id {
 			continue
 		}
-		resp, err := s.send(site, transport.WFGReq{})
+		resp, err := s.send(context.Background(), site, transport.WFGReq{})
 		if err != nil {
 			// An unreachable site contributes no edges this round; its
 			// cycles will be found when it answers again.
@@ -94,5 +95,5 @@ func (s *Site) signalVictim(victim txn.ID, reason string) {
 		s.signalAbort(victim, reason)
 		return
 	}
-	_, _ = s.send(victim.Site, transport.VictimReq{Txn: victim, Reason: reason})
+	_, _ = s.send(context.Background(), victim.Site, transport.VictimReq{Txn: victim, Reason: reason})
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -14,12 +15,14 @@ import (
 
 // localResult is the outcome of one lock-manager operation attempt —
 // Algorithm 3's return enriched with the status flags Algorithm 2 tags onto
-// remote operations.
+// remote operations. code classifies failures with a txn error code so the
+// coordinator reconstructs typed errors across the wire.
 type localResult struct {
 	executed  bool
 	acquired  bool
 	deadlock  bool
 	failed    bool
+	code      string
 	err       string
 	results   []string
 	conflicts []lock.Conflict
@@ -40,6 +43,7 @@ func (s *Site) handleExecOp(req transport.ExecOpReq) transport.ExecOpResp {
 		AcquireLocking: res.acquired,
 		Deadlock:       res.deadlock,
 		Failed:         res.failed,
+		Code:           res.code,
 		Error:          res.err,
 		Results:        res.results,
 	}
@@ -59,7 +63,8 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 	ds := s.docs[op.Doc]
 	if ds == nil {
 		s.mu.Unlock()
-		return localResult{failed: true, err: fmt.Sprintf("site %d does not hold document %q", s.id, op.Doc)}
+		return localResult{failed: true, code: txn.CodeUnknownDocument,
+			err: fmt.Sprintf("site %d does not hold document %q", s.id, op.Doc)}
 	}
 
 	// Register participant-side state so commit/abort can find this
@@ -244,7 +249,7 @@ func (s *Site) notifyWaiters(targets map[txn.ID]int) {
 		}
 		// Best effort: a lost wake-up is recovered by the retry interval.
 		go func(site int, id txn.ID) {
-			_, _ = s.send(site, transport.WakeReq{Txn: id})
+			_, _ = s.send(context.Background(), site, transport.WakeReq{Txn: id})
 		}(coordSite, id)
 	}
 }

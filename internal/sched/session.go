@@ -1,0 +1,291 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/txn"
+)
+
+// Session is an interactive coordinator-side transaction: operations are
+// executed one at a time with Exec, each returning its result immediately so
+// the client can branch on what it read while the locks of every prior step
+// are still held (strict 2PL — nothing is released before the terminal
+// commit or abort). A Session is bound to the context passed to Begin:
+// cancelling it aborts the transaction and releases its locks at every
+// participant site, whether a step is in flight or the client is between
+// operations.
+//
+// A Session is not safe for concurrent steps — like database/sql.Tx, one
+// goroutine drives it. Cancellation and deadlock-victim signals arrive from
+// other goroutines and are serialised internally.
+type Session struct {
+	site *Site
+	ctx  context.Context
+	ct   *coordTxn
+
+	mu     sync.Mutex
+	inStep bool
+	done   bool
+	state  txn.State
+	err    error // terminal cause; nil after a successful commit
+}
+
+// Begin opens an interactive transaction with this site as coordinator.
+// The context governs the whole transaction: when it is cancelled, the
+// transaction is aborted (Algorithm 6) and every lock it holds anywhere in
+// the cluster is released.
+func (s *Site) Begin(ctx context.Context) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-s.stopCh:
+		return nil, fmt.Errorf("sched: site %d is stopped", s.id)
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", txn.ErrAborted, context.Cause(ctx))
+	}
+	sess := &Session{site: s, ctx: ctx, ct: s.beginTxn()}
+	go sess.watch()
+	return sess, nil
+}
+
+// ID returns the transaction identifier.
+func (sess *Session) ID() txn.ID { return sess.ct.t.ID }
+
+// Done reports whether the transaction has reached a terminal state.
+func (sess *Session) Done() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.done
+}
+
+// Err returns the terminal cause: nil while the transaction is running or
+// after it committed, the typed abort/failure error otherwise.
+func (sess *Session) Err() error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.err
+}
+
+// watch aborts the transaction when its context is cancelled (or the site
+// stops) while no step is in flight; an in-flight step observes the same
+// conditions in its own wait loop. Exactly one of the three arms fires.
+func (sess *Session) watch() {
+	select {
+	case <-sess.ct.finished:
+	case <-sess.ctx.Done():
+		sess.cancel(fmt.Errorf("%w: %w", txn.ErrAborted, context.Cause(sess.ctx)))
+	case <-sess.site.stopCh:
+		sess.cancel(fmt.Errorf("%w: site stopping", txn.ErrAborted))
+	}
+}
+
+// cancel terminates an idle session. If a step is in flight it does nothing:
+// the step's own context/stop checks terminate the session, including the
+// post-step re-check that closes the race with a cancellation arriving just
+// as the step completes.
+func (sess *Session) cancel(cause error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.done || sess.inStep {
+		return
+	}
+	sess.terminateLocked(cause)
+}
+
+// interrupted reports why the session must stop accepting work — the site
+// shutting down or the context being cancelled — or nil. The watcher fires
+// only once and defers to an in-flight step, so every Exec/Commit boundary
+// re-checks both conditions here; without this a stop racing a step would be
+// lost for the session's remaining lifetime.
+func (sess *Session) interrupted() error {
+	select {
+	case <-sess.site.stopCh:
+		return fmt.Errorf("%w: site stopping", txn.ErrAborted)
+	default:
+	}
+	if sess.ctx.Err() != nil {
+		return fmt.Errorf("%w: %w", txn.ErrAborted, context.Cause(sess.ctx))
+	}
+	return nil
+}
+
+// Exec runs one operation of the transaction at every site holding its
+// document and returns the operation's query results (nil for updates). On
+// error the transaction has already been resolved — aborted or failed
+// cluster-wide, locks released — and the same terminal error is returned by
+// any further call.
+func (sess *Session) Exec(op txn.Operation) ([]string, error) {
+	sess.mu.Lock()
+	if sess.done {
+		err := sess.err
+		sess.mu.Unlock()
+		if err == nil {
+			err = txn.ErrTxnDone
+		}
+		return nil, err
+	}
+	if sess.inStep {
+		sess.mu.Unlock()
+		return nil, fmt.Errorf("sched: %s: concurrent step on one transaction", sess.ct.t.ID)
+	}
+	opIdx := len(sess.ct.t.Ops)
+	if err := validateOp(opIdx, op); err != nil {
+		sess.mu.Unlock()
+		return nil, err
+	}
+	if ierr := sess.interrupted(); ierr != nil {
+		sess.terminateLocked(ierr)
+		err := sess.err
+		sess.mu.Unlock()
+		return nil, err
+	}
+	sess.ct.t.Ops = append(sess.ct.t.Ops, op)
+	sess.ct.results = append(sess.ct.results, nil)
+	sess.inStep = true
+	sess.mu.Unlock()
+
+	stepErr := sess.site.execOp(sess.ctx, sess.ct, opIdx)
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.inStep = false
+	if stepErr == nil {
+		// Cancelled or stopped in the instant the step succeeded: the
+		// watcher saw a step in flight and deferred to us.
+		stepErr = sess.interrupted()
+	}
+	if stepErr != nil {
+		sess.terminateLocked(stepErr)
+		return nil, sess.err
+	}
+	return sess.ct.results[opIdx], nil
+}
+
+// Commit consolidates the transaction at every involved site (Algorithm 5).
+// A pending deadlock-victim signal or context cancellation takes precedence
+// and aborts instead.
+func (sess *Session) Commit() error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.done {
+		if sess.err != nil {
+			return sess.err
+		}
+		return txn.ErrTxnDone
+	}
+	if sess.inStep {
+		return fmt.Errorf("sched: %s: commit while a step is in flight", sess.ct.t.ID)
+	}
+	select {
+	case r := <-sess.ct.abortCh:
+		sess.terminateLocked(fmt.Errorf("%w: %s", txn.ErrDeadlock, r))
+		return sess.err
+	default:
+	}
+	if ierr := sess.interrupted(); ierr != nil {
+		sess.terminateLocked(ierr)
+		return sess.err
+	}
+	if sess.site.commitTransaction(sess.ct) {
+		sess.finishLocked(txn.Committed, nil)
+		return nil
+	}
+	sess.finishLocked(txn.Failed, fmt.Errorf("%w: commit rejected at a participant site", txn.ErrFailed))
+	return sess.err
+}
+
+// Abort cancels the transaction at every involved site (Algorithm 6),
+// undoing its operations and releasing its locks. Returns nil on a clean
+// abort; aborting an already-finished transaction returns its terminal
+// error (or ErrTxnDone after a commit).
+func (sess *Session) Abort() error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.done {
+		if sess.err != nil {
+			return sess.err
+		}
+		return txn.ErrTxnDone
+	}
+	if sess.inStep {
+		return fmt.Errorf("sched: %s: abort while a step is in flight", sess.ct.t.ID)
+	}
+	if sess.site.abortTransaction(sess.ct) {
+		sess.finishLocked(txn.Aborted, fmt.Errorf("%w: rolled back by the client", txn.ErrAborted))
+		return nil
+	}
+	sess.finishLocked(txn.Failed, fmt.Errorf("%w: abort could not cancel at every site", txn.ErrFailed))
+	return sess.err
+}
+
+// Result snapshots the terminal outcome in the batch-submission shape. Valid
+// once the session is done; the batch Submit path uses it.
+func (sess *Session) Result() *Result {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	reason := ""
+	if sess.err != nil {
+		reason = sess.err.Error()
+	}
+	return &Result{
+		Txn:     sess.ct.t.ID,
+		State:   sess.state,
+		Results: sess.ct.results,
+		Reason:  reason,
+		Err:     sess.err,
+	}
+}
+
+// terminateLocked resolves a live transaction after a step error or
+// cancellation: failures (unresolvable state) broadcast failure, everything
+// else aborts cleanly — escalating to failure if some participant cannot
+// cancel (Algorithm 6, l. 5–10). Callers hold sess.mu.
+func (sess *Session) terminateLocked(cause error) {
+	s := sess.site
+	switch {
+	case errors.Is(cause, txn.ErrFailed) || errors.Is(cause, txn.ErrUnknownDocument):
+		s.failTransaction(sess.ct)
+		sess.finishLocked(txn.Failed, cause)
+	default:
+		if s.abortTransaction(sess.ct) {
+			sess.finishLocked(txn.Aborted, cause)
+		} else {
+			sess.finishLocked(txn.Failed, cause)
+		}
+	}
+}
+
+// finishLocked records the terminal state, updates the site counters, and
+// unregisters the coordinator-side transaction. Callers hold sess.mu.
+func (sess *Session) finishLocked(state txn.State, cause error) {
+	s := sess.site
+	id := sess.ct.t.ID
+	sess.done = true
+	sess.state = state
+	sess.err = cause
+	s.mu.Lock()
+	switch state {
+	case txn.Committed:
+		s.stats.TxnsCommitted++
+	case txn.Aborted:
+		s.stats.TxnsAborted++
+		if errors.Is(cause, txn.ErrDeadlock) {
+			s.stats.DeadlockAborts++
+		}
+	case txn.Failed:
+		s.stats.TxnsFailed++
+	}
+	sess.ct.t.State = state
+	delete(s.coord, id)
+	s.mu.Unlock()
+	close(sess.ct.finished)
+	if s.cfg.History != nil {
+		s.cfg.History.OnFinished(id, state == txn.Committed)
+	}
+}

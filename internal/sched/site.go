@@ -15,6 +15,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -156,12 +157,14 @@ type partTxn struct {
 }
 
 // coordTxn is the coordinator-side state of a transaction submitted here.
+// Interactive sessions grow t.Ops and results one operation at a time.
 type coordTxn struct {
-	t       *txn.Transaction
-	wake    chan struct{}
-	abortCh chan string
-	sites   map[int]bool // sites that received at least one operation
-	results [][]string
+	t        *txn.Transaction
+	wake     chan struct{}
+	abortCh  chan string
+	sites    map[int]bool // sites that received at least one operation
+	results  [][]string
+	finished chan struct{} // closed once the transaction reaches a terminal state
 }
 
 // Result is what a client gets back for a submitted transaction.
@@ -170,6 +173,7 @@ type Result struct {
 	State   txn.State
 	Results [][]string // per-operation query results
 	Reason  string     // why the transaction aborted or failed
+	Err     error      // typed terminal error (nil when committed); works with errors.Is
 }
 
 // Site is one DTX instance. Create with New, attach to a transport with
@@ -393,6 +397,7 @@ func (s *Site) HandleMessage(from int, msg any) (any, error) {
 			Txn:     res.Txn,
 			State:   res.State.String(),
 			Results: res.Results,
+			Code:    txn.ErrorCode(res.Err),
 			Error:   res.Reason,
 		}, nil
 	default:
@@ -429,10 +434,13 @@ func (s *Site) signalAbort(id txn.ID, reason string) {
 	}
 }
 
-// send delivers a message to a peer site (never to self).
-func (s *Site) send(to int, msg any) (any, error) {
+// send delivers a message to a peer site (never to self). The context bounds
+// the exchange: transaction-scoped messages pass the transaction's context,
+// cleanup messages (undo, commit, abort, fail, wake-ups) pass a detached one
+// because they must complete even after the client gave up.
+func (s *Site) send(ctx context.Context, to int, msg any) (any, error) {
 	if s.node == nil {
 		return nil, fmt.Errorf("sched: site %d is not attached to a network", s.id)
 	}
-	return s.node.Send(to, msg)
+	return s.node.Send(ctx, to, msg)
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -97,7 +98,7 @@ func TestTCPClientSubmitMessage(t *testing.T) {
 	defer client.Close()
 	client.SetPeer(0, addrs[0])
 
-	resp, err := client.Send(0, transport.SubmitReq{
+	resp, err := client.Send(context.Background(), 0, transport.SubmitReq{
 		Ops: []txn.Operation{txn.NewQuery("d1", "//person/name")},
 	})
 	if err != nil {

@@ -35,13 +35,16 @@ type Conflict struct {
 }
 
 // ExecOpResp reports the outcome of a remote operation, carrying the status
-// flags of Algorithm 2 back to the coordinator (l. 13).
+// flags of Algorithm 2 back to the coordinator (l. 13). Code classifies a
+// failure with one of the txn error codes so the coordinator can rebuild a
+// typed error (txn.FromCode) instead of a bare string.
 type ExecOpResp struct {
 	Site           int
 	Executed       bool
 	AcquireLocking bool
 	Deadlock       bool
 	Failed         bool
+	Code           string
 	Error          string
 	Results        []string
 	Conflicts      []Conflict
@@ -93,11 +96,14 @@ type SubmitReq struct {
 	Ops []txn.Operation
 }
 
-// SubmitResp reports the outcome of a client transaction.
+// SubmitResp reports the outcome of a client transaction. Code carries the
+// txn error code of a non-committed outcome so remote clients keep typed
+// errors (txn.FromCode) across the wire.
 type SubmitResp struct {
 	Txn     txn.ID
 	State   string
 	Results [][]string
+	Code    string
 	Error   string
 }
 

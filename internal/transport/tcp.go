@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // envelope frames one request on the wire.
@@ -159,26 +161,77 @@ func (n *TCPNode) dropClient(to int, c *clientConn) {
 }
 
 // Send implements Node: one synchronous request/response exchange.
-func (n *TCPNode) Send(to int, msg any) (any, error) {
+// Cancelling the context forces a deadline onto the connection, which
+// unblocks the exchange; the poisoned connection is dropped and redialled on
+// the next use.
+func (n *TCPNode) Send(ctx context.Context, to int, msg any) (any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("transport: send to site %d: %w", to, context.Cause(ctx))
+	}
 	c, err := n.client(to)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+
+	// A watcher pops the connection deadline on cancellation so the blocking
+	// gob exchange returns. It is joined before Send returns, so a deadline
+	// is only ever set when ctx was in fact cancelled — and then the
+	// connection is dropped below, never reused half-poisoned.
+	stop := make(chan struct{})
+	watcherDone := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-ctx.Done():
+				c.conn.SetDeadline(time.Now())
+			case <-stop:
+			}
+		}()
+	} else {
+		close(watcherDone)
+	}
+	join := func() {
+		close(stop)
+		<-watcherDone
+	}
+
 	if err := c.enc.Encode(&envelope{From: n.id, Msg: msg}); err != nil {
+		join()
 		n.dropClient(to, c)
-		return nil, fmt.Errorf("transport: send to site %d: %w", to, err)
+		return nil, fmt.Errorf("transport: send to site %d: %w", to, sendErr(ctx, err))
 	}
 	var rep replyEnvelope
 	if err := c.dec.Decode(&rep); err != nil {
+		join()
 		n.dropClient(to, c)
-		return nil, fmt.Errorf("transport: recv from site %d: %w", to, err)
+		return nil, fmt.Errorf("transport: recv from site %d: %w", to, sendErr(ctx, err))
+	}
+	join()
+	if err := ctx.Err(); err != nil {
+		// Cancelled after the reply arrived but possibly after the watcher
+		// armed the deadline: retire the connection rather than risk a stale
+		// deadline on the next exchange.
+		n.dropClient(to, c)
 	}
 	if rep.Err != "" {
 		return rep.Msg, errors.New(rep.Err)
 	}
 	return rep.Msg, nil
+}
+
+// sendErr prefers the context's cancellation cause over the raw I/O error a
+// popped deadline produces.
+func sendErr(ctx context.Context, ioErr error) error {
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	return ioErr
 }
 
 // Close implements Node.

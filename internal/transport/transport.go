@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -24,7 +25,10 @@ type Node interface {
 	// SiteID returns this endpoint's site identifier.
 	SiteID() int
 	// Send delivers a request to another site and waits for its response.
-	Send(to int, msg any) (any, error)
+	// Cancelling the context abandons the exchange; the request may or may
+	// not have been processed by the peer, and callers that mutate remote
+	// state must clean up with their own abort protocol.
+	Send(ctx context.Context, to int, msg any) (any, error)
 	// Close releases the endpoint.
 	Close() error
 }
@@ -71,7 +75,10 @@ type memNode struct {
 
 func (m *memNode) SiteID() int { return m.id }
 
-func (m *memNode) Send(to int, msg any) (any, error) {
+func (m *memNode) Send(ctx context.Context, to int, msg any) (any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m.net.mu.RLock()
 	peer := m.net.nodes[to]
 	lat := m.net.latency
@@ -79,14 +86,31 @@ func (m *memNode) Send(to int, msg any) (any, error) {
 	if peer == nil {
 		return nil, fmt.Errorf("transport: site %d unreachable", to)
 	}
-	if lat > 0 {
-		time.Sleep(lat)
+	if err := sleepCtx(ctx, lat); err != nil {
+		return nil, fmt.Errorf("transport: send to site %d: %w", to, err)
 	}
 	resp, err := peer.handler.HandleMessage(m.id, msg)
-	if lat > 0 {
-		time.Sleep(lat)
+	// The request was processed; a cancellation from here on loses only the
+	// response, mirroring a network whose reply never arrives.
+	if serr := sleepCtx(ctx, lat); serr != nil {
+		return nil, fmt.Errorf("transport: recv from site %d: %w", to, serr)
 	}
 	return resp, err
+}
+
+// sleepCtx pauses for d unless the context is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
 }
 
 func (m *memNode) Close() error {

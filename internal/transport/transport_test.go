@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -54,7 +55,7 @@ func TestNetworkRoundTrip(t *testing.T) {
 	if _, err := net.Join(2, &echoHandler{site: 2}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := n1.Send(2, execReq())
+	resp, err := n1.Send(context.Background(), 2, execReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestNetworkUnreachableAndDuplicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n1.Send(9, Ack{}); err == nil {
+	if _, err := n1.Send(context.Background(), 9, Ack{}); err == nil {
 		t.Fatal("expected unreachable error")
 	}
 	if _, err := net.Join(1, &echoHandler{site: 1}); err == nil {
@@ -84,7 +85,7 @@ func TestNetworkUnreachableAndDuplicate(t *testing.T) {
 	if err := n2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := n1.Send(2, Ack{}); err == nil {
+	if _, err := n1.Send(context.Background(), 2, Ack{}); err == nil {
 		t.Fatal("expected unreachable after close")
 	}
 }
@@ -95,7 +96,7 @@ func TestNetworkLatency(t *testing.T) {
 	net.Join(2, &echoHandler{site: 2})
 	net.SetLatency(5 * time.Millisecond)
 	start := time.Now()
-	if _, err := n1.Send(2, Ack{}); err != nil {
+	if _, err := n1.Send(context.Background(), 2, Ack{}); err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d < 10*time.Millisecond {
@@ -123,7 +124,7 @@ func TestNetworkConcurrentSends(t *testing.T) {
 			go func(i, j int) {
 				defer wg.Done()
 				for k := 0; k < 25; k++ {
-					if _, err := nodes[i].Send(j, execReq()); err != nil {
+					if _, err := nodes[i].Send(context.Background(), j, execReq()); err != nil {
 						t.Errorf("send %d->%d: %v", i, j, err)
 						return
 					}
@@ -150,7 +151,7 @@ func TestTCPRoundTrip(t *testing.T) {
 	n1.SetPeer(2, n2.Addr())
 	n2.SetPeer(1, n1.Addr())
 
-	resp, err := n1.Send(2, execReq())
+	resp, err := n1.Send(context.Background(), 2, execReq())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestTCPRoundTrip(t *testing.T) {
 		t.Fatalf("resp = %#v", resp)
 	}
 	// Reverse direction over a fresh connection.
-	resp, err = n2.Send(1, WFGReq{})
+	resp, err = n2.Send(context.Background(), 1, WFGReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestTCPGobCarriesUpdates(t *testing.T) {
 	})
 	req := execReq()
 	req.Op = op
-	if _, err := n1.Send(2, req); err != nil {
+	if _, err := n1.Send(context.Background(), 2, req); err != nil {
 		t.Fatal(err)
 	}
 	if got.Update == nil || got.Update.New == nil || len(got.Update.New.Children) != 2 {
@@ -219,7 +220,7 @@ func TestTCPHandlerErrorPropagates(t *testing.T) {
 	}
 	defer n2.Close()
 	n1.SetPeer(2, n2.Addr())
-	if _, err := n1.Send(2, Ack{}); err == nil {
+	if _, err := n1.Send(context.Background(), 2, Ack{}); err == nil {
 		t.Fatal("expected propagated handler error")
 	}
 }
@@ -230,7 +231,7 @@ func TestTCPUnknownPeer(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer n1.Close()
-	if _, err := n1.Send(5, Ack{}); err == nil {
+	if _, err := n1.Send(context.Background(), 5, Ack{}); err == nil {
 		t.Fatal("expected no-address error")
 	}
 }
@@ -253,7 +254,7 @@ func TestTCPConcurrentSends(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for k := 0; k < 20; k++ {
-				if _, err := n1.Send(2, execReq()); err != nil {
+				if _, err := n1.Send(context.Background(), 2, execReq()); err != nil {
 					t.Errorf("send: %v", err)
 					return
 				}
@@ -274,13 +275,13 @@ func TestTCPSendAfterPeerCloseReconnects(t *testing.T) {
 		t.Fatal(err)
 	}
 	n1.SetPeer(2, n2.Addr())
-	if _, err := n1.Send(2, Ack{}); err != nil {
+	if _, err := n1.Send(context.Background(), 2, Ack{}); err != nil {
 		t.Fatal(err)
 	}
 	addr := n2.Addr()
 	n2.Close()
 	// First send fails (broken pipe or refused), but must not wedge.
-	if _, err := n1.Send(2, Ack{}); err == nil {
+	if _, err := n1.Send(context.Background(), 2, Ack{}); err == nil {
 		t.Log("send after close unexpectedly succeeded (race with close) — acceptable")
 	}
 	// Restart the peer on the same address and verify reconnect.
@@ -290,7 +291,7 @@ func TestTCPSendAfterPeerCloseReconnects(t *testing.T) {
 	}
 	defer n2b.Close()
 	// The cached connection was dropped on error; a new Send dials fresh.
-	if _, err := n1.Send(2, Ack{}); err != nil {
+	if _, err := n1.Send(context.Background(), 2, Ack{}); err != nil {
 		t.Fatalf("reconnect failed: %v", err)
 	}
 }

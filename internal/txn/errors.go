@@ -1,0 +1,90 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors shared by every layer of the system and re-exported by the
+// public dtx package. They classify transaction outcomes so clients can
+// branch with errors.Is instead of matching reason strings:
+//
+//   - ErrAborted: the transaction was rolled back cleanly — by the deadlock
+//     detector, by context cancellation, or by the client itself. Every
+//     participant site undid its effects and released its locks.
+//   - ErrDeadlock: the transaction was chosen as a deadlock victim. Wraps
+//     ErrAborted, so errors.Is(err, ErrAborted) also holds; resubmission is
+//     safe and is what a retry policy automates.
+//   - ErrFailed: the transaction could not be cleanly resolved (an operation
+//     failed mid-flight, or commit/abort was rejected at a participant).
+//   - ErrUnknownDocument: an operation named a document no site holds.
+//   - ErrSiteOutOfRange: a site index does not exist in the cluster.
+//   - ErrTxnDone: a step arrived after the transaction already committed or
+//     rolled back.
+var (
+	ErrAborted         = errors.New("dtx: transaction aborted")
+	ErrDeadlock        = fmt.Errorf("%w (deadlock victim)", ErrAborted)
+	ErrFailed          = errors.New("dtx: transaction failed")
+	ErrUnknownDocument = errors.New("dtx: unknown document")
+	ErrSiteOutOfRange  = errors.New("dtx: site out of range")
+	ErrTxnDone         = errors.New("dtx: transaction already finished")
+)
+
+// Wire codes for the sentinels. Transport responses carry a code next to the
+// human-readable message so typed errors survive crossing site boundaries.
+const (
+	CodeNone            = ""
+	CodeAborted         = "aborted"
+	CodeDeadlock        = "deadlock"
+	CodeFailed          = "failed"
+	CodeUnknownDocument = "unknown-document"
+	CodeSiteOutOfRange  = "site-out-of-range"
+)
+
+// ErrorCode maps an error to its wire code. Unclassified errors map to
+// CodeFailed so a remote peer never mistakes a failure for success; nil maps
+// to CodeNone.
+func ErrorCode(err error) string {
+	switch {
+	case err == nil:
+		return CodeNone
+	case errors.Is(err, ErrUnknownDocument):
+		return CodeUnknownDocument
+	case errors.Is(err, ErrDeadlock):
+		return CodeDeadlock
+	case errors.Is(err, ErrAborted):
+		return CodeAborted
+	case errors.Is(err, ErrSiteOutOfRange):
+		return CodeSiteOutOfRange
+	default:
+		return CodeFailed
+	}
+}
+
+// FromCode reconstructs a typed error from a wire code and message — the
+// inverse of ErrorCode, up to the sentinel the code names. An empty code with
+// a message is an unclassified failure; an empty code without one is nil.
+func FromCode(code, msg string) error {
+	var base error
+	switch code {
+	case CodeNone:
+		if msg == "" {
+			return nil
+		}
+		base = ErrFailed
+	case CodeAborted:
+		base = ErrAborted
+	case CodeDeadlock:
+		base = ErrDeadlock
+	case CodeUnknownDocument:
+		base = ErrUnknownDocument
+	case CodeSiteOutOfRange:
+		base = ErrSiteOutOfRange
+	default:
+		base = ErrFailed
+	}
+	if msg == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, msg)
+}

@@ -1,0 +1,156 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/xupdate"
+)
+
+func TestIDStringAndLess(t *testing.T) {
+	id := ID{Site: 2, Seq: 7}
+	if id.String() != "t2.7" {
+		t.Fatalf("String = %q", id.String())
+	}
+	cases := []struct {
+		a, b ID
+		less bool
+	}{
+		{ID{0, 1}, ID{0, 2}, true},
+		{ID{0, 2}, ID{0, 1}, false},
+		{ID{0, 9}, ID{1, 1}, true},
+		{ID{1, 1}, ID{0, 9}, false},
+		{ID{1, 1}, ID{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+	if Zero != (ID{}) {
+		t.Fatal("Zero is not the zero ID")
+	}
+}
+
+func TestNewerVictimRule(t *testing.T) {
+	a, b := ID{Site: 0, Seq: 1}, ID{Site: 1, Seq: 1}
+	if !Newer(5, a, 3, b) {
+		t.Fatal("larger timestamp must be newer")
+	}
+	if Newer(3, a, 5, b) {
+		t.Fatal("smaller timestamp must not be newer")
+	}
+	// Timestamp ties break on ID, and the rule is antisymmetric so every
+	// site picks the same victim from the same cycle.
+	if Newer(4, a, 4, b) == Newer(4, b, 4, a) {
+		t.Fatal("tie-break is not antisymmetric")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		Active: "active", Waiting: "waiting", Committed: "committed",
+		Aborted: "aborted", Failed: "failed", State(99): "State(99)",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Errorf("State(%d).String() = %q, want %q", int(st), st.String(), s)
+		}
+	}
+}
+
+func TestOperationConstructors(t *testing.T) {
+	q := NewQuery("d1", "//person")
+	if q.Kind != OpQuery || q.Doc != "d1" || q.Query != "//person" || q.Update != nil {
+		t.Fatalf("query op = %+v", q)
+	}
+	u := NewUpdate("d2", &xupdate.Update{Kind: xupdate.Remove, Target: "/x"})
+	if u.Kind != OpUpdate || u.Doc != "d2" || u.Update == nil {
+		t.Fatalf("update op = %+v", u)
+	}
+	if q.String() == "" || u.String() == "" {
+		t.Fatal("operations must render")
+	}
+	tr := New(ID{Site: 1, Seq: 2}, 3, []Operation{q, u})
+	if tr.State != Active || len(tr.Ops) != 2 || tr.TS != 3 {
+		t.Fatalf("transaction = %+v", tr)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Tick() != 1 || c.Tick() != 2 {
+		t.Fatal("Tick must advance by one")
+	}
+	c.Observe(10)
+	if c.Now() != 10 {
+		t.Fatalf("Observe did not fold in: %d", c.Now())
+	}
+	c.Observe(4)
+	if c.Now() != 10 {
+		t.Fatal("Observe must never move backwards")
+	}
+	if c.Tick() != 11 {
+		t.Fatal("Tick after Observe must continue from the maximum")
+	}
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	// A deadlock victim is an aborted transaction.
+	if !errors.Is(ErrDeadlock, ErrAborted) {
+		t.Fatal("ErrDeadlock must wrap ErrAborted")
+	}
+	// The classes are otherwise disjoint.
+	if errors.Is(ErrAborted, ErrDeadlock) {
+		t.Fatal("ErrAborted must not be a deadlock")
+	}
+	if errors.Is(ErrFailed, ErrAborted) || errors.Is(ErrUnknownDocument, ErrAborted) {
+		t.Fatal("failure classes must not be aborts")
+	}
+	// Wrapping with context keeps the classification.
+	wrapped := fmt.Errorf("%w: extra detail", ErrDeadlock)
+	if !errors.Is(wrapped, ErrDeadlock) || !errors.Is(wrapped, ErrAborted) {
+		t.Fatal("wrapping lost the classification")
+	}
+}
+
+func TestErrorCodeRoundTrip(t *testing.T) {
+	cases := []struct {
+		err  error
+		code string
+	}{
+		{nil, CodeNone},
+		{ErrAborted, CodeAborted},
+		{ErrDeadlock, CodeDeadlock},
+		{ErrFailed, CodeFailed},
+		{ErrUnknownDocument, CodeUnknownDocument},
+		{ErrSiteOutOfRange, CodeSiteOutOfRange},
+		{fmt.Errorf("%w: detail", ErrDeadlock), CodeDeadlock},
+		{errors.New("anything else"), CodeFailed},
+	}
+	for _, c := range cases {
+		if got := ErrorCode(c.err); got != c.code {
+			t.Errorf("ErrorCode(%v) = %q, want %q", c.err, got, c.code)
+		}
+	}
+	// FromCode reconstructs an error in the same class.
+	for _, code := range []string{CodeAborted, CodeDeadlock, CodeFailed, CodeUnknownDocument, CodeSiteOutOfRange} {
+		rebuilt := FromCode(code, "remote detail")
+		if ErrorCode(rebuilt) != code {
+			t.Errorf("FromCode(%q) reclassified as %q", code, ErrorCode(rebuilt))
+		}
+	}
+	if FromCode(CodeNone, "") != nil {
+		t.Fatal("empty code and message must be nil")
+	}
+	if err := FromCode(CodeNone, "boom"); !errors.Is(err, ErrFailed) {
+		t.Fatal("message without code must classify as failure")
+	}
+	if err := FromCode("unheard-of", "boom"); !errors.Is(err, ErrFailed) {
+		t.Fatal("unknown code must classify as failure")
+	}
+	if !errors.Is(FromCode(CodeDeadlock, ""), ErrAborted) {
+		t.Fatal("rebuilt deadlock must still wrap ErrAborted")
+	}
+}
