@@ -1,0 +1,206 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document for the benchmark trajectory recorded by CI. Each PR's bench job
+// pipes its run through this tool and uploads the result (BENCH_pr.json) as
+// a workflow artifact; BENCH_baseline.json in the repository root holds the
+// committed comparison point.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' . | go run ./cmd/benchjson -o BENCH_pr.json
+//	go run ./cmd/benchjson -baseline BENCH_baseline.json -o BENCH_pr.json bench1.txt bench2.txt
+//
+// With -baseline, every benchmark present in both runs is annotated with
+// the ns/op ratio against the baseline; -max-regress fails the run (exit 1)
+// when a benchmark regresses beyond the given fraction — the soft gate the
+// CI pipeline reports on.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	Name      string             `json:"name"`
+	N         int64              `json:"n"`
+	NsPerOp   float64            `json:"ns_per_op"`
+	OpsPerSec float64            `json:"ops_per_sec"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	// VsBaseline is ns/op divided by the baseline's ns/op for the same
+	// benchmark: below 1 is faster than baseline. Set only with -baseline.
+	VsBaseline float64 `json:"vs_baseline,omitempty"`
+}
+
+// Report is the JSON document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Unix       int64       `json:"generated_unix"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(r io.Reader, rep *Report) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, hdr := range []struct {
+			prefix string
+			dst    *string
+		}{{"goos: ", &rep.Goos}, {"goarch: ", &rep.Goarch}, {"pkg: ", &rep.Pkg}, {"cpu: ", &rep.CPU}} {
+			if v, ok := strings.CutPrefix(line, hdr.prefix); ok && *hdr.dst == "" {
+				*hdr.dst = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		n, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: m[1], N: n}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				b.NsPerOp = v
+				if v > 0 {
+					b.OpsPerSec = 1e9 / v
+				}
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "baseline JSON to compare against")
+	maxRegress := flag.Float64("max-regress", 0,
+		"fail when a multi-iteration benchmark's ns/op exceeds baseline by this fraction (0 disables; n=1 results are never gated)")
+	flag.Parse()
+
+	rep := &Report{Unix: time.Now().Unix()}
+	if flag.NArg() == 0 {
+		if err := parse(os.Stdin, rep); err != nil {
+			fatal(err)
+		}
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		err = parse(f, rep)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	rep.Benchmarks = dedupe(rep.Benchmarks)
+
+	regressed := false
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *baseline, err))
+		}
+		ref := make(map[string]float64, len(base.Benchmarks))
+		for _, b := range base.Benchmarks {
+			if b.NsPerOp > 0 {
+				ref[b.Name] = b.NsPerOp
+			}
+		}
+		for i := range rep.Benchmarks {
+			b := &rep.Benchmarks[i]
+			refNs, ok := ref[b.Name]
+			if !ok || b.NsPerOp <= 0 {
+				continue
+			}
+			b.VsBaseline = b.NsPerOp / refNs
+			status := "ok"
+			switch {
+			case b.N == 1:
+				// A single-iteration timing (the -benchtime 1x sweep) is
+				// noise-dominated: annotate the delta but never gate on it.
+				status = "n=1, not gated"
+			case *maxRegress > 0 && b.VsBaseline > 1+*maxRegress:
+				status = "REGRESSED"
+				regressed = true
+			}
+			fmt.Fprintf(os.Stderr, "%-60s %8.0f ns/op  vs baseline %.2fx  %s\n",
+				b.Name, b.NsPerOp, b.VsBaseline, status)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	if regressed {
+		fmt.Fprintln(os.Stderr, "benchjson: regression beyond -max-regress threshold")
+		os.Exit(1)
+	}
+}
+
+// dedupe collapses repeated runs of one benchmark (a quick sweep plus a
+// longer hot-path pass, or -count repetitions) to the highest-iteration
+// measurement, which is the most reliable one.
+func dedupe(in []Benchmark) []Benchmark {
+	best := make(map[string]int, len(in))
+	var out []Benchmark
+	for _, b := range in {
+		if i, ok := best[b.Name]; ok {
+			if b.N > out[i].N {
+				out[i] = b
+			}
+			continue
+		}
+		best[b.Name] = len(out)
+		out = append(out, b)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

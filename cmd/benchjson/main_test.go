@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkFig12Throughput/xdgl         	      18	 116744898 ns/op	         0.6667 deadlocks	        16.37 resp_ms	       450.7 tx/s
+BenchmarkDistributedTxn-4               	    2036	   1135148 ns/op
+PASS
+ok  	repro	8.009s
+`
+
+func TestParse(t *testing.T) {
+	var rep Report
+	if err := parse(strings.NewReader(sample), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Pkg != "repro" {
+		t.Fatalf("header lost: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	fig := rep.Benchmarks[0]
+	if fig.Name != "BenchmarkFig12Throughput/xdgl" || fig.N != 18 {
+		t.Fatalf("fig12 = %+v", fig)
+	}
+	if fig.NsPerOp != 116744898 || fig.Metrics["tx/s"] != 450.7 || fig.Metrics["deadlocks"] != 0.6667 {
+		t.Fatalf("fig12 values = %+v", fig)
+	}
+	dist := rep.Benchmarks[1]
+	if dist.Name != "BenchmarkDistributedTxn" {
+		t.Fatalf("proc-count suffix not stripped: %q", dist.Name)
+	}
+	if dist.OpsPerSec < 880 || dist.OpsPerSec > 882 {
+		t.Fatalf("ops/sec = %v", dist.OpsPerSec)
+	}
+}

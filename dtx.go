@@ -32,6 +32,13 @@
 // Submit runs a whole operation list as one transaction (a convenience
 // wrapper over Begin/step/Commit), and SubmitWithRetry additionally
 // resubmits deadlock victims under a bounded backoff policy.
+//
+// The cross-site hot path is concurrent: remote operations, the commit and
+// abort phases of 2PC, and the deadlock detector's graph collection all fan
+// their per-site messages out concurrently and join. Independent read-only
+// steps can share that concurrency through Txn.DoBatch, and Submit batches
+// consecutive reads through it automatically when no client think time is
+// configured.
 package dtx
 
 import (

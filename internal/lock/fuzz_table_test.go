@@ -1,0 +1,90 @@
+package lock
+
+import (
+	"testing"
+
+	"repro/internal/dataguide"
+	"repro/internal/txn"
+	"repro/internal/xmltree"
+)
+
+// FuzzTableOps drives the lock table with a byte-encoded sequence of
+// acquire / release-op / release-all actions from several transactions and
+// checks the same invariants as TestPropertyTableInvariants after every
+// step: granted unguarded locks are pairwise compatible per node, the
+// accounting sums agree, and a full release empties the table. The CI fuzz
+// smoke step runs this for a short budget on every pull request.
+func FuzzTableOps(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78, 0x9a})
+	f.Add([]byte{0xff, 0x01, 0x80, 0x7f, 0x00, 0x40, 0xaa, 0x55, 0x33, 0xcc})
+
+	doc, err := xmltree.ParseString("d", `
+<r>
+  <a><x>1</x><y>2</y></a>
+  <b><x>3</x></b>
+  <c><z>4</z></c>
+</r>`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	g := dataguide.Build(doc)
+	var nodes []*dataguide.Node
+	for _, p := range g.Paths() {
+		nodes = append(nodes, g.Lookup(p))
+	}
+	modes := []Mode{IS, IX, SI, SA, SB, ST, X, XT}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl := NewTable(g)
+		const txns = 4
+		ops := make([]int, txns)
+		for i := 0; i+1 < len(data); i += 2 {
+			ti := int(data[i]) % txns
+			id := txn.ID{Site: 1, Seq: int64(ti + 1)}
+			owner := Owner{Txn: id, TS: txn.TS(ti + 1), Op: ops[ti]}
+			b := data[i+1]
+			switch (data[i] >> 2) % 10 {
+			case 8:
+				tbl.ReleaseOp(id, int(b)%(ops[ti]+1))
+			case 9:
+				tbl.ReleaseAll(id)
+				ops[ti] = 0
+			default:
+				tbl.Acquire(owner, []Request{
+					{Node: nodes[int(b)%len(nodes)], Mode: modes[int(b>>4)%len(modes)]},
+					{Node: nodes[int(b>>2)%len(nodes)], Mode: modes[int(b>>1)%len(modes)]},
+				})
+				ops[ti]++
+			}
+			for _, node := range nodes {
+				holders := tbl.Holders(node)
+				for i := 0; i < len(holders); i++ {
+					for j := i + 1; j < len(holders); j++ {
+						for _, mi := range tbl.Modes(holders[i], node) {
+							for _, mj := range tbl.Modes(holders[j], node) {
+								if !Compatible(mi, mj) {
+									t.Fatalf("%v and %v coexist on %s", mi, mj, node.Path())
+								}
+							}
+						}
+					}
+				}
+			}
+			sum := 0
+			for _, id := range tbl.ActiveTxns() {
+				sum += tbl.HeldBy(id)
+			}
+			if sum != tbl.GrantCount() {
+				t.Fatalf("sum(HeldBy)=%d GrantCount=%d", sum, tbl.GrantCount())
+			}
+		}
+		for ti := 0; ti < txns; ti++ {
+			tbl.ReleaseAll(txn.ID{Site: 1, Seq: int64(ti + 1)})
+		}
+		if tbl.GrantCount() != 0 || len(tbl.ActiveTxns()) != 0 {
+			t.Fatalf("table not empty after full release: %d grants, %d txns",
+				tbl.GrantCount(), len(tbl.ActiveTxns()))
+		}
+	})
+}

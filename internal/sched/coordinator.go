@@ -2,6 +2,7 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -51,7 +52,7 @@ func (s *Site) SubmitCtx(ctx context.Context, ops []txn.Operation) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	for i := range ops {
+	for i := 0; i < len(ops); {
 		if i > 0 && s.cfg.OpDelay > 0 {
 			// Client think time between operations; a cancellation during
 			// the pause is observed by the next Exec (or by the session
@@ -65,9 +66,28 @@ func (s *Site) SubmitCtx(ctx context.Context, ops []txn.Operation) (*Result, err
 				timer.Stop()
 			}
 		}
+		if s.cfg.OpDelay == 0 {
+			// With no client think time to model, a run of consecutive
+			// read-only operations has no ordering the client can observe —
+			// under strict 2PL all their locks are held to the end either
+			// way — so they ship through the concurrent path and overlap
+			// their per-site round trips.
+			j := i
+			for j < len(ops) && ops[j].Kind == txn.OpQuery {
+				j++
+			}
+			if j-i >= 2 {
+				if _, err := sess.ExecBatch(ops[i:j]); err != nil {
+					break
+				}
+				i = j
+				continue
+			}
+		}
 		if _, err := sess.Exec(ops[i]); err != nil {
 			break
 		}
+		i++
 	}
 	if !sess.Done() {
 		sess.Commit()
@@ -89,7 +109,7 @@ func (s *Site) beginTxn() *coordTxn {
 	ts := s.clock.Tick()
 	ct := &coordTxn{
 		t:        txn.New(id, ts, nil),
-		wake:     make(chan struct{}, 1),
+		wake:     make(chan struct{}),
 		abortCh:  make(chan string, 1),
 		sites:    make(map[int]bool),
 		finished: make(chan struct{}),
@@ -109,6 +129,9 @@ func (s *Site) execOp(ctx context.Context, ct *coordTxn, opIdx int) error {
 	op := ct.t.Ops[opIdx]
 	id, ts := ct.t.ID, ct.t.TS
 	for {
+		// Fetched before the attempt: a wake broadcast during the attempt
+		// closes exactly this channel, so it cannot be lost.
+		wakeCh := ct.wakeChan()
 		// A victim signal or cancellation can arrive at any point while the
 		// operation retries; honour them before burning another attempt.
 		select {
@@ -130,7 +153,7 @@ func (s *Site) execOp(ctx context.Context, ct *coordTxn, opIdx int) error {
 			// Algorithm 1, l. 5–10: the operation involves only the
 			// coordinator's site.
 			res = s.processOperation(id, ts, s.id, opIdx, op)
-			ct.sites[s.id] = true
+			ct.addSite(s.id)
 		} else {
 			// Algorithm 1, l. 12–22: ship the operation to every
 			// participant holding the document (the coordinator included,
@@ -159,7 +182,7 @@ func (s *Site) execOp(ctx context.Context, ct *coordTxn, opIdx int) error {
 		// wake-up, a victim signal, cancellation, or the retry safety net.
 		timer := time.NewTimer(s.cfg.RetryInterval)
 		select {
-		case <-ct.wake:
+		case <-wakeCh:
 			timer.Stop()
 		case r := <-ct.abortCh:
 			timer.Stop()
@@ -175,6 +198,49 @@ func (s *Site) execOp(ctx context.Context, ct *coordTxn, opIdx int) error {
 	}
 }
 
+// execOps runs n consecutive operations of the transaction, starting at
+// base, concurrently — the batched read-only path. Each operation goes
+// through the full execOp machinery (per-site fan-out, wait mode, victim
+// signals) under a context that the first failing sibling cancels, so a
+// doomed batch stops burning retries. The returned error is the batch's
+// root cause: a typed terminal error from the operation that failed, in
+// preference to the ErrAborted wrappers its cancelled siblings report.
+func (s *Site) execOps(ctx context.Context, ct *coordTxn, base, n int) error {
+	if n == 1 {
+		return s.execOp(ctx, ct, base)
+	}
+	bctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.execOp(bctx, ct, base+i); err != nil {
+				errs[i] = err
+				cancel(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, txn.ErrAborted) {
+			// A deadlock victim or unresolvable operation is the cause the
+			// client should see, not the cancellation it spread.
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // execRemote fans one operation out to all sites holding the document and
 // merges the participant statuses (Algorithm 1, l. 12–22).
 func (s *Site) execRemote(ctx context.Context, ct *coordTxn, opIdx int, op txn.Operation, sites []int) localResult {
@@ -187,7 +253,7 @@ func (s *Site) execRemote(ctx context.Context, ct *coordTxn, opIdx int, op txn.O
 	results := make([]siteResult, len(sites))
 	var wg sync.WaitGroup
 	for i, site := range sites {
-		ct.sites[site] = true
+		ct.addSite(site)
 		wg.Add(1)
 		go func(i, site int) {
 			defer wg.Done()
@@ -288,62 +354,118 @@ func (s *Site) undoOpEverywhere(id txn.ID, opIdx int, site int) {
 	_, _ = s.send(context.Background(), site, transport.UndoOpReq{Txn: id, OpIdx: opIdx})
 }
 
+// fanOut runs fn for every site concurrently — the join of one concurrent
+// 2PC phase — returning each branch's outcome (indexed like sites) and
+// their conjunction. A single-site list runs inline, sparing the goroutine.
+func fanOut(sites []int, fn func(site int) bool) ([]bool, bool) {
+	oks := make([]bool, len(sites))
+	if len(sites) == 1 {
+		oks[0] = fn(sites[0])
+		return oks, oks[0]
+	}
+	var wg sync.WaitGroup
+	for i, site := range sites {
+		wg.Add(1)
+		go func(i, site int) {
+			defer wg.Done()
+			oks[i] = fn(site)
+		}(i, site)
+	}
+	wg.Wait()
+	all := true
+	for _, ok := range oks {
+		all = all && ok
+	}
+	return oks, all
+}
+
 // commitTransaction is Algorithm 5: ask every involved site to consolidate;
-// if any refuses, abort. Returns true if the commit completed.
+// if any refuses, abort. Returns true if the commit completed. The remote
+// consolidations are issued concurrently and joined — the commit phase
+// costs the slowest participant instead of the sum — but the coordinator's
+// own persist deliberately stays LAST, exactly as in the serial protocol:
+// a remote refusal then still finds the local replica unconsolidated.
+//
+// Refusal outcomes are reported honestly. If NO remote site consolidated
+// (the common coordinator-plus-one-participant deployment, or an
+// all-refuse round) the abort rolls everything back cleanly. If the
+// concurrent round left some sites consolidated and some refusing, no
+// clean cancellation exists — a consolidated participant has already
+// persisted and released its locks — so the transaction fails everywhere
+// (Algorithm 6, l. 5–10), rather than pretending the divergence away.
 func (s *Site) commitTransaction(ct *coordTxn) bool {
 	id := ct.t.ID
-	for site := range ct.sites {
-		if site == s.id {
-			continue
-		}
-		resp, err := s.send(context.Background(), site, transport.CommitReq{Txn: id})
-		ack, _ := resp.(transport.Ack)
-		if err != nil || !ack.OK {
-			// Algorithm 5, l. 5–7: commit rejected — abort the transaction.
-			s.abortTransaction(ct)
-			return false
-		}
+	remote := ct.remoteSites(s.id)
+	var oks []bool
+	allOK := true
+	if len(remote) > 0 {
+		oks, allOK = fanOut(remote, func(site int) bool {
+			resp, err := s.send(context.Background(), site, transport.CommitReq{Txn: id})
+			ack, _ := resp.(transport.Ack)
+			return err == nil && ack.OK
+		})
 	}
 	// Algorithm 5, l. 10–11: persist locally and release the locks.
-	if err := s.commitLocal(id); err != nil {
-		s.abortTransaction(ct)
-		return false
+	if allOK && s.commitLocal(id) == nil {
+		return true
 	}
-	return true
+	// Algorithm 5, l. 5–7: commit rejected.
+	anyConsolidated := false
+	for _, ok := range oks {
+		anyConsolidated = anyConsolidated || ok
+	}
+	if anyConsolidated {
+		s.failTransaction(ct)
+	} else {
+		s.abortTransaction(ct)
+	}
+	return false
 }
 
 // abortTransaction is Algorithm 6: ask every involved site to cancel; if a
 // site cannot, escalate to failure everywhere. Returns true if the abort
 // completed cleanly (false means the transaction failed). Abort must run to
 // completion even when triggered by a cancelled client context — it is what
-// releases the locks — so its messages are sent detached.
+// releases the locks — so its messages are sent detached. The remote
+// cancellations are independent undo-and-release work and are issued
+// concurrently; the local release deliberately comes LAST. Aborts dominate
+// under deadlock churn, and releasing the coordinator's locks first hands
+// the freed resources to the local waiters in lock-step with every other
+// victim — a phase-locked storm where retrying victims perpetually rebuild
+// the cycle and starve the old transactions the victim rule protects.
+// Remote-first staggers the wake-ups exactly as the serial protocol did,
+// which is what lets the oldest waiter slip in and make progress.
 func (s *Site) abortTransaction(ct *coordTxn) bool {
 	id := ct.t.ID
-	for site := range ct.sites {
-		if site == s.id {
-			continue
-		}
-		resp, err := s.send(context.Background(), site, transport.AbortReq{Txn: id})
-		ack, _ := resp.(transport.Ack)
-		if err != nil || !ack.OK {
-			// Algorithm 6, l. 5–10: cancellation impossible somewhere —
-			// the transaction fails everywhere.
-			s.failTransaction(ct)
-			return false
-		}
+	remote := ct.remoteSites(s.id)
+	ok := true
+	if len(remote) > 0 {
+		_, ok = fanOut(remote, func(site int) bool {
+			resp, err := s.send(context.Background(), site, transport.AbortReq{Txn: id})
+			ack, _ := resp.(transport.Ack)
+			return err == nil && ack.OK
+		})
 	}
-	_ = s.abortLocal(id)
+	if !ok {
+		// Algorithm 6, l. 5–10: cancellation impossible somewhere — the
+		// transaction fails everywhere.
+		s.failTransaction(ct)
+		return false
+	}
+	_ = s.abortLocal(id) // local cancellation cannot refuse
 	return true
 }
 
-// failTransaction broadcasts failure (Algorithm 6, l. 6–9).
+// failTransaction broadcasts failure (Algorithm 6, l. 6–9) to the remote
+// sites concurrently, then marks the failure locally — the same
+// remote-first release order as abort, for the same liveness reason.
 func (s *Site) failTransaction(ct *coordTxn) {
 	id := ct.t.ID
-	for site := range ct.sites {
-		if site == s.id {
-			continue
-		}
-		_, _ = s.send(context.Background(), site, transport.FailReq{Txn: id})
+	if remote := ct.remoteSites(s.id); len(remote) > 0 {
+		_, _ = fanOut(remote, func(site int) bool {
+			_, _ = s.send(context.Background(), site, transport.FailReq{Txn: id})
+			return true
+		})
 	}
 	s.failLocal(id)
 }

@@ -1,7 +1,7 @@
 package sched
 
 import (
-	"context"
+	"sync"
 	"time"
 
 	"repro/internal/transport"
@@ -31,8 +31,11 @@ func (s *Site) detectorLoop() {
 // recently started transaction in it. Returns true if a deadlock was found
 // and a victim signalled.
 //
-// Because victim selection is deterministic (newest timestamp, ties broken
-// by transaction ID), several sites running the check concurrently converge
+// The per-site WFG snapshots are pulled concurrently and bound to the
+// site's lifecycle context, so one slow peer neither stretches the sweep to
+// the sum of the round trips nor leaks a blocked poll past Stop. Because
+// victim selection is deterministic (newest timestamp, ties broken by
+// transaction ID), several sites running the check concurrently converge
 // on the same victim; duplicate victim signals are idempotent.
 func (s *Site) CheckDeadlocks() bool {
 	union := wfg.New()
@@ -43,19 +46,32 @@ func (s *Site) CheckDeadlocks() bool {
 	union.Union(s.localEdgesLocked())
 	s.mu.Unlock()
 
-	for _, site := range s.cfg.Sites {
+	remote := make([][]wfg.Edge, len(s.cfg.Sites))
+	var wg sync.WaitGroup
+	for i, site := range s.cfg.Sites {
 		if site == s.id {
 			continue
 		}
-		resp, err := s.send(context.Background(), site, transport.WFGReq{})
-		if err != nil {
-			// An unreachable site contributes no edges this round; its
-			// cycles will be found when it answers again.
+		wg.Add(1)
+		go func(i, site int) {
+			defer wg.Done()
+			resp, err := s.send(s.ctx, site, transport.WFGReq{})
+			if err != nil {
+				// An unreachable site contributes no edges this round; its
+				// cycles will be found when it answers again.
+				return
+			}
+			if g, ok := resp.(transport.WFGResp); ok {
+				remote[i] = g.Edges
+			}
+		}(i, site)
+	}
+	wg.Wait()
+	for _, edges := range remote {
+		if edges == nil {
 			continue
 		}
-		if g, ok := resp.(transport.WFGResp); ok {
-			union.Union(g.Edges)
-		}
+		union.Union(edges)
 		// Check after each union so the first circle found is handled
 		// immediately (Algorithm 4 checks inside the loop).
 		if s.resolveCycle(union) {
@@ -95,5 +111,5 @@ func (s *Site) signalVictim(victim txn.ID, reason string) {
 		s.signalAbort(victim, reason)
 		return
 	}
-	_, _ = s.send(context.Background(), victim.Site, transport.VictimReq{Txn: victim, Reason: reason})
+	_, _ = s.send(s.ctx, victim.Site, transport.VictimReq{Txn: victim, Reason: reason})
 }

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"context"
 	"fmt"
 	"sort"
 
@@ -59,6 +58,16 @@ func (s *Site) handleExecOp(req transport.ExecOpReq) transport.ExecOpResp {
 // deadlock; partial effects of a failed attempt are undone before returning.
 func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op txn.Operation) localResult {
 	s.mu.Lock()
+
+	if _, dead := s.finished[id]; dead {
+		// A stale operation outrun by the transaction's own commit or abort
+		// (the pipelined transport does not order an abandoned exchange
+		// against later cleanup): refuse it rather than resurrect the
+		// terminated transaction's participant state and leak its locks.
+		s.mu.Unlock()
+		return localResult{failed: true, code: txn.CodeAborted,
+			err: fmt.Sprintf("site %d: transaction %s already terminated", s.id, id)}
+	}
 
 	ds := s.docs[op.Doc]
 	if ds == nil {
@@ -248,8 +257,10 @@ func (s *Site) notifyWaiters(targets map[txn.ID]int) {
 			continue
 		}
 		// Best effort: a lost wake-up is recovered by the retry interval.
+		// Bound to the lifecycle context so a wake to an unresponsive peer
+		// cannot outlive the site.
 		go func(site int, id txn.ID) {
-			_, _ = s.send(context.Background(), site, transport.WakeReq{Txn: id})
+			_, _ = s.send(s.ctx, site, transport.WakeReq{Txn: id})
 		}(coordSite, id)
 	}
 }
@@ -305,6 +316,7 @@ func (s *Site) commitLocal(id txn.ID) error {
 	}
 	delete(s.part, id)
 	delete(s.coordOf, id)
+	s.markFinishedLocked(id)
 	s.mu.Unlock()
 	s.notifyWaiters(wake)
 	return nil
@@ -348,6 +360,7 @@ func (s *Site) abortLocal(id txn.ID) error {
 	}
 	delete(s.part, id)
 	delete(s.coordOf, id)
+	s.markFinishedLocked(id)
 	s.mu.Unlock()
 	s.notifyWaiters(wake)
 	return nil

@@ -167,6 +167,70 @@ func (sess *Session) Exec(op txn.Operation) ([]string, error) {
 	return sess.ct.results[opIdx], nil
 }
 
+// ExecBatch runs several read-only operations of the transaction
+// concurrently and returns their query results in operation order. The
+// operations must all be queries: reads of one transaction have no mutual
+// ordering a client can observe — under strict 2PL their locks are all held
+// until the terminal commit or abort either way — so they may overlap their
+// per-site round trips; updates order against other operations and must go
+// through Exec. A batch refused up front (a non-query or malformed
+// operation) returns an error without affecting the session, which stays
+// live and usable; an error from executing the batch means the transaction
+// has already been resolved cluster-wide, exactly as for Exec.
+func (sess *Session) ExecBatch(ops []txn.Operation) ([][]string, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	sess.mu.Lock()
+	if sess.done {
+		err := sess.err
+		sess.mu.Unlock()
+		if err == nil {
+			err = txn.ErrTxnDone
+		}
+		return nil, err
+	}
+	if sess.inStep {
+		sess.mu.Unlock()
+		return nil, fmt.Errorf("sched: %s: concurrent step on one transaction", sess.ct.t.ID)
+	}
+	base := len(sess.ct.t.Ops)
+	for i := range ops {
+		if ops[i].Kind != txn.OpQuery {
+			sess.mu.Unlock()
+			return nil, fmt.Errorf("sched: batch operation %d is not read-only", i)
+		}
+		if err := validateOp(base+i, ops[i]); err != nil {
+			sess.mu.Unlock()
+			return nil, err
+		}
+	}
+	if ierr := sess.interrupted(); ierr != nil {
+		sess.terminateLocked(ierr)
+		err := sess.err
+		sess.mu.Unlock()
+		return nil, err
+	}
+	sess.ct.t.Ops = append(sess.ct.t.Ops, ops...)
+	sess.ct.results = append(sess.ct.results, make([][]string, len(ops))...)
+	sess.inStep = true
+	sess.mu.Unlock()
+
+	stepErr := sess.site.execOps(sess.ctx, sess.ct, base, len(ops))
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.inStep = false
+	if stepErr == nil {
+		stepErr = sess.interrupted()
+	}
+	if stepErr != nil {
+		sess.terminateLocked(stepErr)
+		return nil, sess.err
+	}
+	return sess.ct.results[base : base+len(ops)], nil
+}
+
 // Commit consolidates the transaction at every involved site (Algorithm 5).
 // A pending deadlock-victim signal or context cancellation takes precedence
 // and aborts instead.

@@ -157,14 +157,58 @@ type partTxn struct {
 }
 
 // coordTxn is the coordinator-side state of a transaction submitted here.
-// Interactive sessions grow t.Ops and results one operation at a time.
+// Interactive sessions grow t.Ops and results one operation at a time;
+// batched read-only steps (Session.ExecBatch) run their operations
+// concurrently, so the sites map and the wake channel carry a mutex.
 type coordTxn struct {
 	t        *txn.Transaction
-	wake     chan struct{}
 	abortCh  chan string
-	sites    map[int]bool // sites that received at least one operation
+	mu       sync.Mutex    // guards sites and wake
+	sites    map[int]bool  // sites that received at least one operation
+	wake     chan struct{} // closed to broadcast a wake-up, then replaced
 	results  [][]string
 	finished chan struct{} // closed once the transaction reaches a terminal state
+}
+
+// addSite records a site as involved in the transaction.
+func (ct *coordTxn) addSite(site int) {
+	ct.mu.Lock()
+	ct.sites[site] = true
+	ct.mu.Unlock()
+}
+
+// remoteSites snapshots the involved sites excluding the coordinator's
+// own. The local step of every 2PC phase runs unconditionally instead — a
+// no-op when the transaction never touched the coordinator's site.
+func (ct *coordTxn) remoteSites(self int) []int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	sites := make([]int, 0, len(ct.sites))
+	for site := range ct.sites {
+		if site != self {
+			sites = append(sites, site)
+		}
+	}
+	return sites
+}
+
+// wakeChan returns the channel a wait-mode goroutine should select on. It
+// must be fetched before the lock attempt: a wake broadcast during the
+// attempt then closes exactly this channel, so the signal cannot be lost.
+func (ct *coordTxn) wakeChan() <-chan struct{} {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.wake
+}
+
+// broadcastWake wakes every goroutine of the transaction currently in (or
+// entering) wait mode — batched read-only steps can have several waiting
+// concurrently, and a single-token channel would wake only one of them.
+func (ct *coordTxn) broadcastWake() {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	close(ct.wake)
+	ct.wake = make(chan struct{})
 }
 
 // Result is what a client gets back for a submitted transaction.
@@ -190,9 +234,24 @@ type Site struct {
 	part    map[txn.ID]*partTxn
 	coordOf map[txn.ID]int // any transaction seen here -> its coordinator site
 	stats   Stats
+	// finished tombstones recently-terminated transactions. The pipelined
+	// transport does not order an abandoned operation exchange against the
+	// cleanup messages sent after it, so a stale ExecOpReq can reach a
+	// participant after the transaction's abort or commit; without the
+	// tombstone it would re-create participant state and acquire locks that
+	// nothing ever releases. Bounded by finishedRing (oldest evicted).
+	finished     map[txn.ID]struct{}
+	finishedRing []txn.ID
+	finishedIdx  int
 
 	node   transport.Node
 	stopCh chan struct{}
+	// ctx is the site's lifecycle context: background processes (the
+	// deadlock detector, wake-up notifications) bind their transport
+	// exchanges to it so Stop can cut a blocked poll short instead of
+	// leaking it past Close.
+	ctx    context.Context
+	cancel context.CancelFunc
 	wg     sync.WaitGroup
 }
 
@@ -200,15 +259,36 @@ type Site struct {
 // or AddDocument before transactions touch them.
 func New(cfg Config) *Site {
 	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Site{
-		cfg:     cfg,
-		id:      cfg.SiteID,
-		docs:    make(map[string]*docState),
-		coord:   make(map[txn.ID]*coordTxn),
-		part:    make(map[txn.ID]*partTxn),
-		coordOf: make(map[txn.ID]int),
-		stopCh:  make(chan struct{}),
+		cfg:          cfg,
+		id:           cfg.SiteID,
+		docs:         make(map[string]*docState),
+		coord:        make(map[txn.ID]*coordTxn),
+		part:         make(map[txn.ID]*partTxn),
+		coordOf:      make(map[txn.ID]int),
+		finished:     make(map[txn.ID]struct{}),
+		finishedRing: make([]txn.ID, 4096),
+		stopCh:       make(chan struct{}),
+		ctx:          ctx,
+		cancel:       cancel,
 	}
+}
+
+// markFinishedLocked tombstones a terminated transaction. Callers hold
+// s.mu. The ring bounds memory: after its capacity in newer terminations
+// the tombstone is evicted, which is far beyond any realistic in-flight
+// window for a stale operation.
+func (s *Site) markFinishedLocked(id txn.ID) {
+	if _, ok := s.finished[id]; ok {
+		return
+	}
+	if old := s.finishedRing[s.finishedIdx]; old != txn.Zero {
+		delete(s.finished, old)
+	}
+	s.finishedRing[s.finishedIdx] = id
+	s.finishedIdx = (s.finishedIdx + 1) % len(s.finishedRing)
+	s.finished[id] = struct{}{}
 }
 
 // ID returns the site identifier.
@@ -243,12 +323,15 @@ func (s *Site) AttachNetwork(net *transport.Network) error {
 }
 
 // Stop terminates background processes and detaches from the network.
+// Cancelling the lifecycle context unblocks a detector poll that is waiting
+// on an unresponsive peer, so Stop never hangs behind it.
 func (s *Site) Stop() {
 	select {
 	case <-s.stopCh:
 	default:
 		close(s.stopCh)
 	}
+	s.cancel()
 	s.wg.Wait()
 	if s.node != nil {
 		s.node.Close()
@@ -405,7 +488,9 @@ func (s *Site) HandleMessage(from int, msg any) (any, error) {
 	}
 }
 
-// signalWake nudges a coordinator-side transaction out of wait mode.
+// signalWake nudges a coordinator-side transaction out of wait mode. The
+// broadcast reaches every waiting goroutine of the transaction, including
+// one that is mid-attempt and only selects on the channel afterwards.
 func (s *Site) signalWake(id txn.ID) {
 	s.mu.Lock()
 	ct := s.coord[id]
@@ -413,10 +498,7 @@ func (s *Site) signalWake(id txn.ID) {
 	if ct == nil {
 		return
 	}
-	select {
-	case ct.wake <- struct{}{}:
-	default:
-	}
+	ct.broadcastWake()
 }
 
 // signalAbort delivers a deadlock-victim signal to a coordinator-side

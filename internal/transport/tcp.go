@@ -7,25 +7,36 @@ import (
 	"fmt"
 	"net"
 	"sync"
-	"time"
 )
 
-// envelope frames one request on the wire.
+// envelope frames one request on the wire. ID multiplexes many concurrent
+// exchanges over one connection: the peer echoes it on the matching
+// replyEnvelope, so responses may arrive in any order.
 type envelope struct {
+	ID   uint64
 	From int
 	Msg  any
 }
 
-// replyEnvelope frames one response.
+// replyEnvelope frames one response, tagged with the request ID it answers.
 type replyEnvelope struct {
+	ID  uint64
 	Msg any
 	Err string
 }
 
+// ErrPeerClosed reports that the connection to a peer was torn down — the
+// peer crashed, closed, or this node shut down — while a request was in
+// flight. Every call waiting on that connection fails with an error wrapping
+// ErrPeerClosed; the next Send to the peer dials a fresh connection.
+var ErrPeerClosed = errors.New("transport: peer connection closed")
+
 // TCPNode is a site endpoint communicating over TCP with gob encoding. Each
-// peer gets one persistent connection; requests on a connection are
-// serialised, which preserves the synchronous semantics the paper's
-// schedulers rely on.
+// peer gets one persistent connection carrying a multiplexed framed
+// protocol: every request is tagged with an ID, a writer goroutine pipelines
+// outbound envelopes, and a reader goroutine dispatches responses to the
+// callers waiting on their IDs — so any number of transactions share the
+// connection without serialising on each other's round trips.
 type TCPNode struct {
 	id      int
 	ln      net.Listener
@@ -40,16 +51,24 @@ type TCPNode struct {
 	closed chan struct{}
 }
 
+// clientConn is the client half of one multiplexed peer connection.
 type clientConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	conn   net.Conn
+	sendCh chan envelope
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan replyEnvelope
+	err     error // terminal cause, set once before done is closed
+
+	done chan struct{} // closed when the connection is dead
 }
 
 // ListenTCP starts a TCP endpoint for the site on addr ("host:port", use
 // ":0" for an ephemeral port) and begins serving incoming scheduler
-// messages with the handler.
+// messages with the handler. Requests on one accepted connection are
+// dispatched to the handler concurrently, so Handler implementations must
+// be safe for concurrent use (see the Handler contract).
 func ListenTCP(siteID int, addr string, h Handler) (*TCPNode, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -99,6 +118,10 @@ func (n *TCPNode) acceptLoop() {
 	}
 }
 
+// serveConn is the server half of the multiplexed protocol: requests are
+// decoded in order but handled each in its own goroutine, and responses are
+// written back as they complete — out of order when a later request finishes
+// first. A mutex serialises encoder access; gob frames stay intact.
 func (n *TCPNode) serveConn(conn net.Conn) {
 	defer n.wg.Done()
 	defer func() {
@@ -116,39 +139,161 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 	n.mu.Unlock()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
-		resp, err := n.handler.HandleMessage(env.From, env.Msg)
-		rep := replyEnvelope{Msg: resp}
-		if err != nil {
-			rep.Err = err.Error()
+		n.wg.Add(1)
+		go func(env envelope) {
+			defer n.wg.Done()
+			resp, err := n.handler.HandleMessage(env.From, env.Msg)
+			rep := replyEnvelope{ID: env.ID, Msg: resp}
+			if err != nil {
+				rep.Err = err.Error()
+			}
+			encMu.Lock()
+			// An encode failure means the connection died; the decode loop
+			// is failing with it, and the client side rejects its in-flight
+			// calls through its own reader.
+			_ = enc.Encode(&rep)
+			encMu.Unlock()
+		}(env)
+	}
+}
+
+// client returns the live multiplexed connection to a peer, dialling a new
+// one if none exists or the cached one has died.
+func (n *TCPNode) client(to int) (*clientConn, error) {
+	n.mu.Lock()
+	if c := n.conns[to]; c != nil {
+		select {
+		case <-c.done:
+			delete(n.conns, to) // dead; fall through to redial
+		default:
+			n.mu.Unlock()
+			return c, nil
 		}
-		if err := enc.Encode(&rep); err != nil {
+	}
+	addr, ok := n.peers[to]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: no address for site %d", to)
+	}
+	n.mu.Unlock()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial site %d: %w", to, err)
+	}
+	c := &clientConn{
+		conn:    conn,
+		sendCh:  make(chan envelope, 64),
+		pending: make(map[uint64]chan replyEnvelope),
+		done:    make(chan struct{}),
+	}
+
+	n.mu.Lock()
+	if prev := n.conns[to]; prev != nil {
+		// Another Send raced us to the dial; use the winner and retire ours.
+		select {
+		case <-prev.done:
+			n.conns[to] = c
+		default:
+			n.mu.Unlock()
+			conn.Close()
+			return prev, nil
+		}
+	} else {
+		n.conns[to] = c
+	}
+	select {
+	case <-n.closed:
+		// Close ran while we dialled; don't leak a connection it cannot see.
+		delete(n.conns, to)
+		n.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("transport: node closed: %w", ErrPeerClosed)
+	default:
+	}
+	// Registered under the same critical section as the closed check: Close
+	// observes either the registration (and fails the connection) or a later
+	// dial (which sees closed) — and the Add is ordered before Close's Wait.
+	n.wg.Add(2)
+	n.mu.Unlock()
+
+	go n.writeLoop(c)
+	go n.readLoop(to, c)
+	return c, nil
+}
+
+// writeLoop drains the send queue onto the wire, pipelining outbound
+// envelopes from any number of callers.
+func (n *TCPNode) writeLoop(c *clientConn) {
+	defer n.wg.Done()
+	enc := gob.NewEncoder(c.conn)
+	for {
+		select {
+		case env := <-c.sendCh:
+			if err := enc.Encode(&env); err != nil {
+				c.fail(fmt.Errorf("transport: write: %w (%w)", err, ErrPeerClosed))
+				return
+			}
+		case <-c.done:
 			return
 		}
 	}
 }
 
-func (n *TCPNode) client(to int) (*clientConn, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if c := n.conns[to]; c != nil {
-		return c, nil
+// readLoop decodes responses and dispatches each to the caller waiting on
+// its request ID. When the connection dies it rejects every in-flight call.
+func (n *TCPNode) readLoop(to int, c *clientConn) {
+	defer n.wg.Done()
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var rep replyEnvelope
+		if err := dec.Decode(&rep); err != nil {
+			c.fail(fmt.Errorf("transport: read: %w (%w)", err, ErrPeerClosed))
+			n.dropClient(to, c)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[rep.ID]
+		delete(c.pending, rep.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- rep // buffered; never blocks
+		}
+		// No waiter: the caller gave up (cancelled context) and the response
+		// is discarded — the connection stays healthy for everyone else.
 	}
-	addr, ok := n.peers[to]
-	if !ok {
-		return nil, fmt.Errorf("transport: no address for site %d", to)
+}
+
+// fail marks the connection dead with a terminal cause. The closed done
+// channel rejects every in-flight and future call on this connection.
+func (c *clientConn) fail(cause error) {
+	c.mu.Lock()
+	select {
+	case <-c.done:
+		c.mu.Unlock()
+		return
+	default:
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial site %d: %w", to, err)
+	c.err = cause
+	close(c.done)
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+// cause returns the terminal error of a dead connection.
+func (c *clientConn) cause() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
 	}
-	c := &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-	n.conns[to] = c
-	return c, nil
+	return ErrPeerClosed
 }
 
 func (n *TCPNode) dropClient(to int, c *clientConn) {
@@ -157,13 +302,15 @@ func (n *TCPNode) dropClient(to int, c *clientConn) {
 		delete(n.conns, to)
 	}
 	n.mu.Unlock()
-	c.conn.Close()
 }
 
-// Send implements Node: one synchronous request/response exchange.
-// Cancelling the context forces a deadline onto the connection, which
-// unblocks the exchange; the poisoned connection is dropped and redialled on
-// the next use.
+// Send implements Node: one request/response exchange, multiplexed with any
+// number of concurrent exchanges on the shared peer connection. Cancelling
+// the context abandons only this exchange — the request may still reach the
+// peer, and its response is discarded on arrival; the connection itself
+// stays healthy for other callers. A connection torn down mid-request (peer
+// crash, Close) rejects all its in-flight calls with an error wrapping
+// ErrPeerClosed.
 func (n *TCPNode) Send(ctx context.Context, to int, msg any) (any, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -175,66 +322,66 @@ func (n *TCPNode) Send(ctx context.Context, to int, msg any) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	ch := make(chan replyEnvelope, 1)
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	select {
+	case <-c.done:
+		err := c.err
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: send to site %d: %w", to, err)
+	default:
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
 
-	// A watcher pops the connection deadline on cancellation so the blocking
-	// gob exchange returns. It is joined before Send returns, so a deadline
-	// is only ever set when ctx was in fact cancelled — and then the
-	// connection is dropped below, never reused half-poisoned.
-	stop := make(chan struct{})
-	watcherDone := make(chan struct{})
-	if ctx.Done() != nil {
-		go func() {
-			defer close(watcherDone)
-			select {
-			case <-ctx.Done():
-				c.conn.SetDeadline(time.Now())
-			case <-stop:
+	unregister := func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}
+
+	env := envelope{ID: id, From: n.id, Msg: msg}
+	select {
+	case c.sendCh <- env:
+	case <-c.done:
+		unregister()
+		return nil, fmt.Errorf("transport: send to site %d: %w", to, c.cause())
+	case <-ctx.Done():
+		unregister()
+		return nil, fmt.Errorf("transport: send to site %d: %w", to, context.Cause(ctx))
+	}
+
+	select {
+	case rep := <-ch:
+		if rep.Err != "" {
+			return rep.Msg, errors.New(rep.Err)
+		}
+		return rep.Msg, nil
+	case <-c.done:
+		// The reader delivers a reply before it can observe the connection
+		// dying, so a response that won the race is already buffered in ch —
+		// prefer it over reporting a failure for an exchange that succeeded.
+		select {
+		case rep := <-ch:
+			if rep.Err != "" {
+				return rep.Msg, errors.New(rep.Err)
 			}
-		}()
-	} else {
-		close(watcherDone)
+			return rep.Msg, nil
+		default:
+		}
+		unregister()
+		return nil, fmt.Errorf("transport: recv from site %d: %w", to, c.cause())
+	case <-ctx.Done():
+		unregister()
+		return nil, fmt.Errorf("transport: recv from site %d: %w", to, context.Cause(ctx))
 	}
-	join := func() {
-		close(stop)
-		<-watcherDone
-	}
-
-	if err := c.enc.Encode(&envelope{From: n.id, Msg: msg}); err != nil {
-		join()
-		n.dropClient(to, c)
-		return nil, fmt.Errorf("transport: send to site %d: %w", to, sendErr(ctx, err))
-	}
-	var rep replyEnvelope
-	if err := c.dec.Decode(&rep); err != nil {
-		join()
-		n.dropClient(to, c)
-		return nil, fmt.Errorf("transport: recv from site %d: %w", to, sendErr(ctx, err))
-	}
-	join()
-	if err := ctx.Err(); err != nil {
-		// Cancelled after the reply arrived but possibly after the watcher
-		// armed the deadline: retire the connection rather than risk a stale
-		// deadline on the next exchange.
-		n.dropClient(to, c)
-	}
-	if rep.Err != "" {
-		return rep.Msg, errors.New(rep.Err)
-	}
-	return rep.Msg, nil
 }
 
-// sendErr prefers the context's cancellation cause over the raw I/O error a
-// popped deadline produces.
-func sendErr(ctx context.Context, ioErr error) error {
-	if ctx.Err() != nil {
-		return context.Cause(ctx)
-	}
-	return ioErr
-}
-
-// Close implements Node.
+// Close implements Node. Every in-flight outbound call fails with an error
+// wrapping ErrPeerClosed; accepted connections are force-closed.
 func (n *TCPNode) Close() error {
 	select {
 	case <-n.closed:
@@ -244,14 +391,18 @@ func (n *TCPNode) Close() error {
 	}
 	err := n.ln.Close()
 	n.mu.Lock()
+	conns := make([]*clientConn, 0, len(n.conns))
 	for id, c := range n.conns {
-		c.conn.Close()
+		conns = append(conns, c)
 		delete(n.conns, id)
 	}
 	for conn := range n.serving {
 		conn.Close()
 	}
 	n.mu.Unlock()
+	for _, c := range conns {
+		c.fail(fmt.Errorf("transport: node closed: %w", ErrPeerClosed))
+	}
 	n.wg.Wait()
 	return err
 }

@@ -10,6 +10,13 @@ import (
 // Handler processes one request message and returns a response. A site's
 // Listener implements this: "receive, handle and forward the requests from
 // other schedulers to the DTX scheduler".
+//
+// Both transports deliver requests concurrently — the TCP transport
+// dispatches every decoded frame to its own goroutine, and the in-process
+// network calls the handler from each sender's goroutine — so
+// implementations MUST be safe for concurrent use. Responses to one peer
+// may be produced, and are delivered, in any order relative to the requests
+// (the multiplexed protocol matches them by request ID).
 type Handler interface {
 	HandleMessage(from int, msg any) (any, error)
 }
@@ -25,9 +32,13 @@ type Node interface {
 	// SiteID returns this endpoint's site identifier.
 	SiteID() int
 	// Send delivers a request to another site and waits for its response.
+	// Sends to one peer from many goroutines proceed concurrently — the
+	// transport multiplexes them and never serialises independent exchanges.
 	// Cancelling the context abandons the exchange; the request may or may
 	// not have been processed by the peer, and callers that mutate remote
-	// state must clean up with their own abort protocol.
+	// state must clean up with their own abort protocol. A peer that is
+	// gone — crashed, closed, or departed — yields an error wrapping
+	// ErrPeerClosed.
 	Send(ctx context.Context, to int, msg any) (any, error)
 	// Close releases the endpoint.
 	Close() error
@@ -75,6 +86,9 @@ type memNode struct {
 
 func (m *memNode) SiteID() int { return m.id }
 
+// Send runs the peer's handler in the caller's goroutine, so sends from
+// many goroutines are exactly as concurrent as the TCP transport's
+// multiplexed exchanges — there is no per-peer serialisation to model.
 func (m *memNode) Send(ctx context.Context, to int, msg any) (any, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -84,7 +98,7 @@ func (m *memNode) Send(ctx context.Context, to int, msg any) (any, error) {
 	lat := m.net.latency
 	m.net.mu.RUnlock()
 	if peer == nil {
-		return nil, fmt.Errorf("transport: site %d unreachable", to)
+		return nil, fmt.Errorf("transport: site %d unreachable: %w", to, ErrPeerClosed)
 	}
 	if err := sleepCtx(ctx, lat); err != nil {
 		return nil, fmt.Errorf("transport: send to site %d: %w", to, err)

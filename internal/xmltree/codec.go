@@ -77,10 +77,17 @@ func ParseString(name, s string) (*Document, error) {
 	return Parse(name, strings.NewReader(s))
 }
 
-// WriteTo serializes the document as indented XML.
+// WriteTo serializes the document as indented XML. Serialization is on the
+// commit hot path — every consolidation persists the document through it —
+// so the buffer is pre-sized from the previous serialization of the same
+// document to avoid growth copies.
 func (d *Document) WriteTo(w io.Writer) (int64, error) {
 	var buf bytes.Buffer
+	if last := int(d.lastWriteSize.Load()); last > 0 {
+		buf.Grow(last + last/8)
+	}
 	writeNode(&buf, d.Root, 0)
+	d.lastWriteSize.Store(int64(buf.Len()))
 	n, err := w.Write(buf.Bytes())
 	return int64(n), err
 }
@@ -94,16 +101,70 @@ func (d *Document) String() string {
 	return buf.String()
 }
 
+// indentPad backs writeIndent: indentation is written by slicing this pad
+// instead of allocating a fresh strings.Repeat per node.
+var indentPad = strings.Repeat("  ", 64)
+
+func writeIndent(buf *bytes.Buffer, depth int) {
+	n := 2 * depth
+	for n > len(indentPad) {
+		buf.WriteString(indentPad)
+		n -= len(indentPad)
+	}
+	buf.WriteString(indentPad[:n])
+}
+
+// escapeString writes s XML-escaped, byte-for-byte compatible with
+// xml.EscapeText. The fast path handles printable ASCII — the overwhelming
+// case for document content — by copying unescaped runs in bulk without the
+// []byte conversion and rune decoding the stdlib pays per call; control and
+// non-ASCII bytes defer to the stdlib for rune validation and replacement.
+func escapeString(buf *bytes.Buffer, s string) {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 0x80 || (c < 0x20 && c != '\t' && c != '\n' && c != '\r') {
+			xml.EscapeText(buf, []byte(s))
+			return
+		}
+	}
+	last := 0
+	for i := 0; i < len(s); i++ {
+		var esc string
+		switch s[i] {
+		case '&':
+			esc = "&amp;"
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		case '\'':
+			esc = "&#39;"
+		case '"':
+			esc = "&#34;"
+		case '\t':
+			esc = "&#x9;"
+		case '\n':
+			esc = "&#xA;"
+		case '\r':
+			esc = "&#xD;"
+		default:
+			continue
+		}
+		buf.WriteString(s[last:i])
+		buf.WriteString(esc)
+		last = i + 1
+	}
+	buf.WriteString(s[last:])
+}
+
 func writeNode(buf *bytes.Buffer, n *Node, depth int) {
-	indent := strings.Repeat("  ", depth)
-	buf.WriteString(indent)
+	writeIndent(buf, depth)
 	buf.WriteByte('<')
 	buf.WriteString(n.Name)
 	for _, a := range n.Attrs {
 		buf.WriteByte(' ')
 		buf.WriteString(a.Name)
 		buf.WriteString(`="`)
-		xml.EscapeText(buf, []byte(a.Value))
+		escapeString(buf, a.Value)
 		buf.WriteByte('"')
 	}
 	if len(n.Children) == 0 && n.Text == "" {
@@ -112,7 +173,7 @@ func writeNode(buf *bytes.Buffer, n *Node, depth int) {
 	}
 	buf.WriteByte('>')
 	if len(n.Children) == 0 {
-		xml.EscapeText(buf, []byte(n.Text))
+		escapeString(buf, n.Text)
 		buf.WriteString("</")
 		buf.WriteString(n.Name)
 		buf.WriteString(">\n")
@@ -120,14 +181,14 @@ func writeNode(buf *bytes.Buffer, n *Node, depth int) {
 	}
 	buf.WriteByte('\n')
 	if n.Text != "" {
-		buf.WriteString(strings.Repeat("  ", depth+1))
-		xml.EscapeText(buf, []byte(n.Text))
+		writeIndent(buf, depth+1)
+		escapeString(buf, n.Text)
 		buf.WriteByte('\n')
 	}
 	for _, c := range n.Children {
 		writeNode(buf, c, depth+1)
 	}
-	buf.WriteString(indent)
+	writeIndent(buf, depth)
 	buf.WriteString("</")
 	buf.WriteString(n.Name)
 	buf.WriteString(">\n")

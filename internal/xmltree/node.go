@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // NodeID identifies a node uniquely within one Document. IDs are never
@@ -50,6 +51,11 @@ type Document struct {
 
 	nodes  map[NodeID]*Node
 	nextID NodeID
+	// lastWriteSize remembers the size of the previous serialization so the
+	// next WriteTo pre-sizes its buffer (commit persists the document on
+	// every consolidation). Atomic so the otherwise read-only WriteTo stays
+	// safe to call on a document that another goroutine is serializing.
+	lastWriteSize atomic.Int64
 }
 
 // NewDocument creates an empty document with a root element named rootName.

@@ -64,6 +64,24 @@ func (t *Txn) Query(doc, path string) ([]string, error) {
 	return t.Do(Query(doc, path))
 }
 
+// DoBatch executes several independent read-only operations concurrently —
+// their per-site round trips overlap instead of paying one round trip per
+// step — and returns their query results in argument order. All operations
+// must be queries (built with Query); reads of one transaction have no
+// mutual ordering a client can observe, since under strict 2PL every lock
+// is held until Commit or Abort either way. A batch refused up front (an
+// operation that is not a query, or malformed) returns an error WITHOUT
+// affecting the transaction — it stays live, holding its locks, and
+// accepts further steps. An error from executing the batch means the
+// transaction is already resolved cluster-wide, exactly as for Do.
+func (t *Txn) DoBatch(ops ...Op) ([][]string, error) {
+	inner := make([]txn.Operation, len(ops))
+	for i, op := range ops {
+		inner[i] = op.inner
+	}
+	return t.sess.ExecBatch(inner)
+}
+
 // Insert adds a new subtree at the given position relative to the target.
 func (t *Txn) Insert(doc, target string, pos Position, node Node) error {
 	_, err := t.Do(Insert(doc, target, pos, node))
