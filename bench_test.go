@@ -20,6 +20,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/lock"
 	"repro/internal/replica"
+	"repro/internal/store"
 	"repro/internal/txn"
 	"repro/internal/xmark"
 	"repro/internal/xmltree"
@@ -146,6 +147,33 @@ func BenchmarkFig12Throughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFigDocsScaling — per-document scheduling domains: the same
+// client count and per-operation work spread over 1 vs 4 documents at a
+// fixed two-site deployment, under an update-only workload contended
+// enough that one document's lock classes deadlock constantly. With one
+// document every transaction funnels through one scheduling domain and
+// most become deadlock victims; with four, the domains are independent and
+// committed throughput scales.
+func BenchmarkFigDocsScaling(b *testing.B) {
+	for _, docs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("docs=%d", docs), func(b *testing.B) {
+			p := benchParams("xdgl")
+			p.Sites = 2
+			p.Clients = 8
+			p.TxPerClient = 4
+			p.OpsPerTx = 5
+			p.Docs = docs
+			p.Partial = false
+			p.UpdateTxPct = 100
+			p.UpdateOpPct = 100
+			p.BaseBytes = 16 << 10
+			p.Latency = 0
+			p.OpDelay = 300 * time.Microsecond
+			runWorkload(b, p)
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ---
 
 // BenchmarkAblationProtocol compares all three protocols, adding the
@@ -263,6 +291,81 @@ func BenchmarkLockFootprint(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkQueryCache covers the two structural caches on the query hot
+// path: the per-site raw-text parse cache and the DataGuide's memoized
+// Targets/PredicateNodes (hits validated against the guide's structural
+// version). The miss cases are the former per-operation costs.
+func BenchmarkQueryCache(b *testing.B) {
+	doc := benchDoc(b, 256<<10)
+	g := dataguide.Build(doc)
+	const raw = "//person[id='7']/emailaddress"
+	b.Run("parse-miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := xpath.Parse(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parse-hit", func(b *testing.B) {
+		cache := xpath.NewCache(0)
+		if _, err := cache.Get(raw); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Get(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	q := xpath.MustParse(raw)
+	b.Run("targets-miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// A repeated query hits the memo, so force the miss by bumping
+			// the structural version: add a summary node and prune it again
+			// (Compact), keeping the guide stationary across iterations.
+			g.EnsureChild(g.Root, "benchmiss")
+			g.Compact()
+			if g.Targets(q) == nil {
+				b.Fatal("no targets")
+			}
+		}
+	})
+	b.Run("targets-hit", func(b *testing.B) {
+		g.Targets(q) // warm
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if g.Targets(q) == nil {
+				b.Fatal("no targets")
+			}
+		}
+	})
+}
+
+// BenchmarkPersistSnapshot covers the two stages of the commit persist
+// pipeline: the arena snapshot taken under the document mutex and the
+// marshal+store write done outside it.
+func BenchmarkPersistSnapshot(b *testing.B) {
+	doc := benchDoc(b, 64<<10)
+	b.Run("snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if doc.Snapshot() == nil {
+				b.Fatal("nil snapshot")
+			}
+		}
+	})
+	b.Run("serialize-save", func(b *testing.B) {
+		st := store.NewMemStore()
+		snap := doc.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Save(snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkUpdateApplyUndo(b *testing.B) {

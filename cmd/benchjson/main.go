@@ -12,7 +12,10 @@
 // With -baseline, every benchmark present in both runs is annotated with
 // the ns/op ratio against the baseline; -max-regress fails the run (exit 1)
 // when a benchmark regresses beyond the given fraction — the soft gate the
-// CI pipeline reports on.
+// CI pipeline reports on. -md appends a markdown comparison table
+// (old/new/delta per benchmark) to the given file; the bench job points it
+// at $GITHUB_STEP_SUMMARY so every PR run renders the trajectory in the
+// workflow summary.
 package main
 
 import (
@@ -103,6 +106,8 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline JSON to compare against")
 	maxRegress := flag.Float64("max-regress", 0,
 		"fail when a multi-iteration benchmark's ns/op exceeds baseline by this fraction (0 disables; n=1 results are never gated)")
+	md := flag.String("md", "",
+		"append a markdown comparison table to this file (e.g. $GITHUB_STEP_SUMMARY); requires -baseline")
 	flag.Parse()
 
 	rep := &Report{Unix: time.Now().Unix()}
@@ -163,6 +168,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%-60s %8.0f ns/op  vs baseline %.2fx  %s\n",
 				b.Name, b.NsPerOp, b.VsBaseline, status)
 		}
+		if *md != "" {
+			if err := appendMarkdown(*md, rep, ref, *maxRegress); err != nil {
+				fatal(err)
+			}
+		}
+	} else if *md != "" {
+		fatal(fmt.Errorf("-md requires -baseline"))
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -179,6 +191,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: regression beyond -max-regress threshold")
 		os.Exit(1)
 	}
+}
+
+// markdownSummary renders the baseline comparison as a GitHub-flavoured
+// markdown table: one row per benchmark with the baseline and current
+// ns/op, the delta, and the gate status. Benchmarks absent from the
+// baseline appear as "new".
+func markdownSummary(rep *Report, ref map[string]float64, maxRegress float64) string {
+	var b strings.Builder
+	b.WriteString("### Benchmarks vs baseline\n\n")
+	b.WriteString("| Benchmark | baseline ns/op | current ns/op | delta | status |\n")
+	b.WriteString("|---|---:|---:|---:|---|\n")
+	for _, bm := range rep.Benchmarks {
+		if bm.NsPerOp <= 0 {
+			continue
+		}
+		refNs, ok := ref[bm.Name]
+		if !ok {
+			fmt.Fprintf(&b, "| %s | — | %.0f | — | new |\n", bm.Name, bm.NsPerOp)
+			continue
+		}
+		ratio := bm.NsPerOp / refNs
+		status := "ok"
+		switch {
+		case bm.N == 1:
+			status = "n=1, not gated"
+		case maxRegress > 0 && ratio > 1+maxRegress:
+			status = "**REGRESSED**"
+		case ratio <= 0.90:
+			status = "improved"
+		}
+		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %+.1f%% | %s |\n",
+			bm.Name, refNs, bm.NsPerOp, (ratio-1)*100, status)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// appendMarkdown appends the summary table to path (creating it if needed)
+// — append, not truncate, because $GITHUB_STEP_SUMMARY accumulates across
+// steps.
+func appendMarkdown(path string, rep *Report, ref map[string]float64, maxRegress float64) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.WriteString(markdownSummary(rep, ref, maxRegress))
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // dedupe collapses repeated runs of one benchmark (a quick sweep plus a

@@ -41,3 +41,24 @@ func TestParse(t *testing.T) {
 		t.Fatalf("ops/sec = %v", dist.OpsPerSec)
 	}
 }
+
+func TestMarkdownSummary(t *testing.T) {
+	rep := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", N: 100, NsPerOp: 500},
+		{Name: "BenchmarkB", N: 1, NsPerOp: 3000},
+		{Name: "BenchmarkNew", N: 50, NsPerOp: 42},
+		{Name: "BenchmarkSlow", N: 80, NsPerOp: 4000},
+	}}
+	ref := map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 1000, "BenchmarkSlow": 1000}
+	md := markdownSummary(rep, ref, 2.0)
+	for _, want := range []string{
+		"| BenchmarkA | 1000 | 500 | -50.0% | improved |",
+		"| BenchmarkB | 1000 | 3000 | +200.0% | n=1, not gated |",
+		"| BenchmarkNew | — | 42 | — | new |",
+		"| BenchmarkSlow | 1000 | 4000 | +300.0% | **REGRESSED** |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("missing row %q in:\n%s", want, md)
+		}
+	}
+}

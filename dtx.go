@@ -88,6 +88,12 @@ type Config struct {
 	// StoreDir/site<N>/commit.log so a restarted site can detect in-doubt
 	// transactions with store.Recover.
 	Journal bool
+	// PersistDelay is the batching window of the commit persist pipeline:
+	// commits acknowledge immediately and each document is written to its
+	// store at most once per window, covering every commit that accumulated
+	// behind it. Zero selects the default (2ms); negative flushes with no
+	// window. Close drains the pipeline.
+	PersistDelay time.Duration
 }
 
 // Cluster is a running DTX deployment.
@@ -154,6 +160,7 @@ func New(cfg Config) (*Cluster, error) {
 			DeadlockInterval: cfg.DeadlockCheckInterval,
 			OpDelay:          cfg.ClientThinkTime,
 			Journal:          journal,
+			PersistDelay:     cfg.PersistDelay,
 		})
 		if err := site.AttachNetwork(net); err != nil {
 			return nil, err
@@ -161,6 +168,16 @@ func New(cfg Config) (*Cluster, error) {
 		c.sites = append(c.sites, site)
 	}
 	return c, nil
+}
+
+// Sync blocks until every commit acknowledged before the call has been
+// written to its sites' stores (and, with Journal set, sealed with a commit
+// record). Use it to observe the persistent state at a quiescent point
+// without stopping the cluster.
+func (c *Cluster) Sync() {
+	for _, s := range c.sites {
+		s.Sync()
+	}
 }
 
 // Close stops every site and closes any commit journals.

@@ -88,7 +88,8 @@ func (n *Node) Descendants() []*Node {
 	return out
 }
 
-// DataGuide is the structural summary of one document.
+// DataGuide is the structural summary of one document. A DataGuide is not
+// safe for concurrent use; the scheduler serialises access per document.
 type DataGuide struct {
 	Doc  string // document name this guide summarises
 	Root *Node
@@ -96,7 +97,30 @@ type DataGuide struct {
 	nodes  map[NodeID]*Node
 	byDoc  map[xmltree.NodeID]*Node // document node -> summary node
 	nextID NodeID
+
+	// version counts structural changes: summary-node creation and Compact.
+	// Extent churn does not bump it — Targets and PredicateNodes read only
+	// the node/label structure, so their memoized results stay valid across
+	// value updates and are invalidated exactly when a new label path
+	// appears or tombstones are pruned.
+	version uint64
+	memo    map[string]*memoEntry
 }
+
+// memoEntry caches the structural evaluation of one query shape against one
+// guide version.
+type memoEntry struct {
+	version uint64
+	targets []*Node
+	preds   []*Node
+	hasT    bool
+	hasP    bool
+}
+
+// memoCap bounds the memo map; on overflow the whole map is dropped (query
+// shapes are bounded by workload templates, so this is a safety valve, not
+// a working-set control).
+const memoCap = 1024
 
 // Build constructs the strong DataGuide of doc.
 func Build(doc *xmltree.Document) *DataGuide {
@@ -121,6 +145,7 @@ func Build(doc *xmltree.Document) *DataGuide {
 }
 
 func (g *DataGuide) newNode(label string, parent *Node) *Node {
+	g.version++
 	n := &Node{
 		ID:       g.nextID,
 		Label:    label,
@@ -155,6 +180,12 @@ func (g *DataGuide) removeFromExtent(gn *Node, id xmltree.NodeID) {
 
 // Node returns the summary node with the given ID, or nil.
 func (g *DataGuide) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Version returns the structural version: it changes exactly when the set
+// of summary nodes changes (a new label path or a Compact). Extent-only
+// updates leave it untouched. Callers can use it to validate caches derived
+// from the guide's structure — lock derivations, query target sets.
+func (g *DataGuide) Version() uint64 { return g.version }
 
 // Len returns the number of summary nodes (including tombstones).
 func (g *DataGuide) Len() int { return len(g.nodes) }
@@ -271,7 +302,28 @@ func (g *DataGuide) Compact() int {
 		return len(n.Extent) > 0 || len(n.children) > 0
 	}
 	prune(g.Root)
+	if removed > 0 {
+		g.version++
+	}
 	return removed
+}
+
+// lookupMemo returns the memo entry for the query shape, valid at the
+// current structural version, creating it if needed.
+func (g *DataGuide) lookupMemo(q *xpath.Query) *memoEntry {
+	key := q.StructureKey()
+	if g.memo == nil {
+		g.memo = make(map[string]*memoEntry)
+	}
+	e := g.memo[key]
+	if e == nil || e.version != g.version {
+		if len(g.memo) >= memoCap {
+			g.memo = make(map[string]*memoEntry)
+		}
+		e = &memoEntry{version: g.version}
+		g.memo[key] = e
+	}
+	return e
 }
 
 // Targets evaluates the structural part of a query against the guide,
@@ -279,7 +331,22 @@ func (g *DataGuide) Compact() int {
 // predicates cannot be decided on a summary, so they are ignored here: the
 // result over-approximates the document targets, which is exactly what a
 // lock cover needs.
+//
+// Results are memoized per query shape (StructureKey) and invalidated by
+// structural version bumps, so XDGL lock derivation for a repeated query
+// template is a map hit, not a tree walk. The returned slice is shared
+// across calls and must not be mutated.
 func (g *DataGuide) Targets(q *xpath.Query) []*Node {
+	e := g.lookupMemo(q)
+	if e.hasT {
+		return e.targets
+	}
+	e.targets = g.computeTargets(q)
+	e.hasT = true
+	return e.targets
+}
+
+func (g *DataGuide) computeTargets(q *xpath.Query) []*Node {
 	ctx := []*Node{}
 	for i, step := range q.Steps {
 		var next []*Node
@@ -335,7 +402,18 @@ func (g *DataGuide) Targets(q *xpath.Query) []*Node {
 // PredicateNodes returns, for each step of the query that has a child or
 // attribute predicate, the summary nodes of the predicate's child element
 // under that step's context. XDGL requires ST locks on these nodes.
+// Memoized like Targets; the returned slice must not be mutated.
 func (g *DataGuide) PredicateNodes(q *xpath.Query) []*Node {
+	e := g.lookupMemo(q)
+	if e.hasP {
+		return e.preds
+	}
+	e.preds = g.computePredicateNodes(q)
+	e.hasP = true
+	return e.preds
+}
+
+func (g *DataGuide) computePredicateNodes(q *xpath.Query) []*Node {
 	var out []*Node
 	seen := map[NodeID]bool{}
 	// Re-run the step evaluation, collecting predicate children per step.

@@ -310,3 +310,64 @@ func TestStringRendering(t *testing.T) {
 		t.Fatal("empty rendering")
 	}
 }
+
+func TestVersionBumpsOnStructureOnly(t *testing.T) {
+	doc, g := sample(t)
+	v0 := g.Version()
+	// Extent-only churn: remove and re-add a subtree with existing paths.
+	n := xpath.Eval(xpath.MustParse("//person"), doc)[0]
+	g.RemoveSubtree(n)
+	if err := g.AddSubtree(n); err != nil {
+		t.Fatal(err)
+	}
+	if g.Version() != v0 {
+		t.Fatalf("extent churn bumped the version: %d -> %d", v0, g.Version())
+	}
+	// A new label path is structural.
+	g.EnsureChild(g.Root, "brandnew")
+	if g.Version() == v0 {
+		t.Fatal("new summary node did not bump the version")
+	}
+	v1 := g.Version()
+	if g.Compact() == 0 {
+		t.Fatal("compact removed nothing")
+	}
+	if g.Version() == v1 {
+		t.Fatal("compact did not bump the version")
+	}
+}
+
+func TestTargetsMemoInvalidation(t *testing.T) {
+	_, g := sample(t)
+	q := xpath.MustParse("/site/people/person")
+	t1 := g.Targets(q)
+	if len(t1) != 1 {
+		t.Fatalf("targets = %v", t1)
+	}
+	// Memo hit returns the shared slice.
+	if &t1[0] != &g.Targets(q)[0] {
+		t.Fatal("second call did not hit the memo")
+	}
+	// Same shape, different values: still a hit.
+	q2 := xpath.MustParse("/site/people/person[name='Ana']")
+	q3 := xpath.MustParse("/site/people/person[name='Rui']")
+	if len(g.PredicateNodes(q2)) == 0 {
+		t.Fatal("no predicate nodes")
+	}
+	if &g.PredicateNodes(q2)[0] != &g.PredicateNodes(q3)[0] {
+		t.Fatal("value-only variants did not share the memo entry")
+	}
+	// A structural change invalidates: the new path must appear.
+	people := g.Lookup("/site/people")
+	g.EnsureChild(people, "person2")
+	qAll := xpath.MustParse("/site/people/*")
+	found := false
+	for _, n := range g.Targets(qAll) {
+		if n.Label == "person2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("memo served a stale target set after a structural change")
+	}
+}

@@ -35,6 +35,12 @@ type Params struct {
 	// dial, scaled down: the in-process substrate keeps ratios, not
 	// absolute sizes).
 	BaseBytes int
+	// Docs is the number of independently generated base documents (each of
+	// BaseBytes), default 1. Every document is its own scheduling domain at
+	// a site, so spreading one workload over several documents measures the
+	// per-document scaling of the scheduler. Clients pick a document
+	// uniformly per operation.
+	Docs int
 	// Partial selects partial replication (size-balanced fragments, one
 	// site each) instead of total replication (every document everywhere).
 	Partial bool
@@ -74,6 +80,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.BaseBytes <= 0 {
 		p.BaseBytes = 128 << 10
+	}
+	if p.Docs <= 0 {
+		p.Docs = 1
 	}
 	if p.Protocol == "" {
 		p.Protocol = "xdgl"
@@ -166,10 +175,17 @@ func BuildCluster(p Params, hook sched.HistoryHook) (*Cluster, error) {
 		}
 	}
 
-	base := xmark.Gen(xmark.Config{Name: "xmark", TargetBytes: p.BaseBytes, Seed: p.Seed})
+	bases := make([]*xmltree.Document, p.Docs)
+	for d := range bases {
+		name := "xmark"
+		if p.Docs > 1 {
+			name = fmt.Sprintf("xmark%d", d)
+		}
+		bases[d] = xmark.Gen(xmark.Config{Name: name, TargetBytes: p.BaseBytes, Seed: p.Seed + int64(d)*271})
+	}
 	var docs []DocInfo
 	if p.Partial {
-		perSite, err := replica.AllocatePartial(catalog, []*xmltree.Document{base}, p.Sites)
+		perSite, err := replica.AllocatePartial(catalog, bases, p.Sites)
 		if err != nil {
 			return nil, err
 		}
@@ -183,12 +199,14 @@ func BuildCluster(p Params, hook sched.HistoryHook) (*Cluster, error) {
 		}
 		sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
 	} else {
-		for _, s := range sites {
-			if err := s.AddDocument(base.Clone()); err != nil {
-				return nil, err
+		for _, base := range bases {
+			for _, s := range sites {
+				if err := s.AddDocument(base.Clone()); err != nil {
+					return nil, err
+				}
 			}
+			docs = append(docs, DocInfo{Name: base.Name, Sections: xmark.Sections(base)})
 		}
-		docs = []DocInfo{{Name: "xmark", Sections: xmark.Sections(base)}}
 	}
 	return &Cluster{Sites: sites, Network: net, Docs: docs, catalog: catalog}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
@@ -261,9 +262,7 @@ func (s *Site) execRemote(ctx context.Context, ct *coordTxn, opIdx int, op txn.O
 				results[i] = siteResult{site: site, res: s.processOperation(id, ts, s.id, opIdx, op)}
 				return
 			}
-			s.mu.Lock()
-			s.stats.RemoteOpsSent++
-			s.mu.Unlock()
+			atomic.AddInt64(&s.stats.RemoteOpsSent, 1)
 			resp, err := s.send(ctx, site, transport.ExecOpReq{
 				Txn: id, TS: ts, Coordinator: s.id, OpIdx: opIdx, Op: op,
 			})

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
@@ -42,9 +43,7 @@ func (s *Site) CheckDeadlocks() bool {
 	// Collect the local graphs first (Algorithm 4 walks all sites; the site
 	// running the check contributes its own lock managers' graphs without
 	// messaging).
-	s.mu.Lock()
-	union.Union(s.localEdgesLocked())
-	s.mu.Unlock()
+	union.Union(s.localEdges())
 
 	remote := make([][]wfg.Edge, len(s.cfg.Sites))
 	var wg sync.WaitGroup
@@ -94,9 +93,7 @@ func (s *Site) resolveCycle(union *wfg.Graph) bool {
 	} else {
 		victim = union.NewestInCycle(cycle)
 	}
-	s.mu.Lock()
-	s.stats.DistDeadlocks++
-	s.mu.Unlock()
+	atomic.AddInt64(&s.stats.DistDeadlocks, 1)
 	s.signalVictim(victim, "distributed deadlock victim")
 	return true
 }

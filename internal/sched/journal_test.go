@@ -42,6 +42,9 @@ func TestCommitJournaling(t *testing.T) {
 	if _, err := s.Submit([]txn.Operation{txn.NewQuery("d2", "//product")}); err != nil {
 		t.Fatal(err)
 	}
+	// The persist pipeline writes commit records asynchronously; drain it
+	// before closing the journal.
+	s.Sync()
 	journal.Close()
 
 	inDoubt, err := store.Recover(journal.Path())

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/lock"
 	"repro/internal/transport"
@@ -32,8 +33,8 @@ type localResult struct {
 func (s *Site) handleExecOp(req transport.ExecOpReq) transport.ExecOpResp {
 	s.mu.Lock()
 	s.clock.Observe(req.TS)
-	s.stats.RemoteOpsProcessed++
 	s.mu.Unlock()
+	atomic.AddInt64(&s.stats.RemoteOpsProcessed, 1)
 
 	res := s.processOperation(req.Txn, req.TS, req.Coordinator, req.OpIdx, req.Op)
 	resp := transport.ExecOpResp{
@@ -52,32 +53,36 @@ func (s *Site) handleExecOp(req transport.ExecOpReq) transport.ExecOpResp {
 	return resp
 }
 
+// terminatedResult refuses a stale operation outrun by the transaction's
+// own commit or abort (the pipelined transport does not order an abandoned
+// exchange against later cleanup) rather than resurrect the terminated
+// transaction's participant state and leak its locks.
+func (s *Site) terminatedResult(id txn.ID) localResult {
+	return localResult{failed: true, code: txn.CodeAborted,
+		err: fmt.Sprintf("site %d: transaction %s already terminated", s.id, id)}
+}
+
 // processOperation is Algorithm 3 (process_operation): acquire the locks the
 // protocol demands for the operation; on success execute it against the
 // in-memory document; on conflict add wait-for edges and check for a local
 // deadlock; partial effects of a failed attempt are undone before returning.
+// Everything document-shaped happens under the document's own mutex — the
+// per-document scheduling domain — so operations on different documents at
+// this site run fully in parallel.
 func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op txn.Operation) localResult {
-	s.mu.Lock()
-
-	if _, dead := s.finished[id]; dead {
-		// A stale operation outrun by the transaction's own commit or abort
-		// (the pipelined transport does not order an abandoned exchange
-		// against later cleanup): refuse it rather than resurrect the
-		// terminated transaction's participant state and leak its locks.
-		s.mu.Unlock()
-		return localResult{failed: true, code: txn.CodeAborted,
-			err: fmt.Sprintf("site %d: transaction %s already terminated", s.id, id)}
-	}
-
-	ds := s.docs[op.Doc]
+	ds := s.doc(op.Doc)
 	if ds == nil {
-		s.mu.Unlock()
 		return localResult{failed: true, code: txn.CodeUnknownDocument,
 			err: fmt.Sprintf("site %d does not hold document %q", s.id, op.Doc)}
 	}
 
 	// Register participant-side state so commit/abort can find this
 	// transaction even if it never acquires a single lock here.
+	s.mu.Lock()
+	if _, dead := s.finished[id]; dead {
+		s.mu.Unlock()
+		return s.terminatedResult(id)
+	}
 	pt := s.part[id]
 	if pt == nil {
 		pt = &partTxn{
@@ -90,16 +95,21 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 		s.part[id] = pt
 		s.coordOf[id] = coordinator
 	}
-	pt.docs[op.Doc] = true
+	s.mu.Unlock()
+	pt.touch(op.Doc)
+
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 
 	// Translate the operation into lock requests under the configured
-	// protocol.
+	// protocol. Queries go through the site's parse cache; update targets
+	// are pre-parsed on the Update itself.
 	var reqs []lock.Request
 	var q *xpath.Query
 	var err error
 	switch op.Kind {
 	case txn.OpQuery:
-		q, err = xpath.Parse(op.Query)
+		q, err = s.queries.Get(op.Query)
 		if err == nil {
 			reqs, err = s.cfg.Protocol.QueryRequests(ds.doc, ds.guide, q)
 		}
@@ -109,8 +119,16 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 		err = fmt.Errorf("unknown operation kind %d", op.Kind)
 	}
 	if err != nil {
-		s.mu.Unlock()
 		return localResult{failed: true, err: err.Error()}
+	}
+
+	// Re-check the tombstone now that the domain mutex is held: a cleanup
+	// racing this operation marks the transaction finished BEFORE taking
+	// the domain mutex to release its locks, so a grant made after this
+	// check is always observed (and released) by that cleanup, and a grant
+	// refused here leaks nothing.
+	if s.isFinished(id) {
+		return s.terminatedResult(id)
 	}
 
 	conflicts := ds.table.Acquire(lock.Owner{Txn: id, TS: ts, Op: opIdx}, reqs)
@@ -119,22 +137,21 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 		// wait-for graph, then check whether the new edges close a circle
 		// through this transaction. Stale edges from a previous attempt of
 		// the same operation are replaced by the fresh conflict set.
-		s.stats.OpConflicts++
+		atomic.AddInt64(&s.stats.OpConflicts, 1)
 		ds.graph.ClearWaiter(id)
 		for _, c := range conflicts {
 			ds.graph.AddEdge(id, ts, c.Txn, c.TS)
 		}
 		deadlock := ds.graph.CycleThrough(id) != nil
 		if deadlock {
-			s.stats.LocalDeadlocks++
+			atomic.AddInt64(&s.stats.LocalDeadlocks, 1)
 		}
-		s.mu.Unlock()
 		return localResult{acquired: false, deadlock: deadlock, conflicts: conflicts}
 	}
 
 	// Locks granted: the transaction is no longer waiting on anybody here.
 	ds.graph.ClearWaiter(id)
-	s.stats.LocksAcquired += int64(len(reqs))
+	atomic.AddInt64(&s.stats.LocksAcquired, int64(len(reqs)))
 	if s.cfg.History != nil {
 		grants := make([]GrantInfo, 0, len(reqs))
 		for _, r := range reqs {
@@ -142,6 +159,8 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 				grants = append(grants, GrantInfo{Path: r.Path(), Mode: r.Mode})
 			}
 		}
+		// Under ds.mu, so the hook's sequence numbers order conflicting
+		// grants on one document exactly as the lock manager granted them.
 		s.cfg.History.OnAcquired(s.id, id, opIdx, op.Doc, op.Kind == txn.OpUpdate, grants)
 	}
 
@@ -160,82 +179,134 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 			out.failed = true
 			out.err = aerr.Error()
 		} else {
-			pt.undo[opIdx] = append(pt.undo[opIdx], undoEntry{doc: op.Doc, rec: rec})
+			pt.addUndo(opIdx, undoEntry{doc: op.Doc, rec: rec})
 			ds.dirty[id] = true
 			out.executed = true
 		}
 	}
 	if out.executed {
-		s.stats.OpsExecuted++
+		atomic.AddInt64(&s.stats.OpsExecuted, 1)
 	}
-	s.mu.Unlock()
 	return out
 }
 
 // undoOpLocal undoes the effects of one operation of a transaction and
 // releases the locks that operation acquired (Algorithm 1, l. 16: an
 // operation that could not lock everywhere is undone wherever it ran).
+// cleanupMu serialises the undo application against a concurrent abort of
+// the same transaction: whichever takes the entries applies them, and the
+// abort cannot release the transaction's locks in between.
 func (s *Site) undoOpLocal(id txn.ID, opIdx int) {
 	s.mu.Lock()
 	pt := s.part[id]
-	if pt != nil {
-		entries := pt.undo[opIdx]
-		for i := len(entries) - 1; i >= 0; i-- {
-			e := entries[i]
-			if ds := s.docs[e.doc]; ds != nil {
-				// Undo failures here would mean corrupted undo state; the
-				// tree operations involved cannot fail on records produced
-				// by a successful apply.
-				if err := e.rec.Undo(ds.doc, ds.guide); err != nil {
-					panic(fmt.Sprintf("sched: undo of %s op %d failed: %v", id, opIdx, err))
-				}
+	s.mu.Unlock()
+	if pt == nil {
+		// Already cleaned up (commit or abort outran this undo); the
+		// cleanup released everything, including this operation's locks.
+		return
+	}
+	pt.cleanupMu.Lock()
+	entries := pt.takeUndo(opIdx)
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if ds := s.doc(e.doc); ds != nil {
+			ds.mu.Lock()
+			// Undo failures here would mean corrupted undo state; the
+			// tree operations involved cannot fail on records produced
+			// by a successful apply.
+			if err := e.rec.Undo(ds.doc, ds.guide); err != nil {
+				ds.mu.Unlock()
+				pt.cleanupMu.Unlock()
+				panic(fmt.Sprintf("sched: undo of %s op %d failed: %v", id, opIdx, err))
 			}
+			ds.mu.Unlock()
 		}
-		delete(pt.undo, opIdx)
 	}
+	pt.cleanupMu.Unlock()
 	var released int
-	for _, ds := range s.docs {
+	var waiters []txn.ID
+	for _, name := range pt.docNames() {
+		ds := s.doc(name)
+		if ds == nil {
+			continue
+		}
+		ds.mu.Lock()
 		released += ds.table.ReleaseOp(id, opIdx)
+		waiters = collectWaitersLocked(ds, id, waiters)
+		ds.mu.Unlock()
 	}
-	wake := s.wakeTargetsLocked(id)
+	wake := s.waiterCoordinators(waiters)
 	if s.cfg.History != nil {
 		s.cfg.History.OnUndone(s.id, id, opIdx)
 	}
-	s.mu.Unlock()
 	if released > 0 {
 		s.notifyWaiters(wake)
 	}
 }
 
-// wakeTargetsLocked collects, across every document's lock manager, the
-// transactions waiting on id together with their coordinator sites, and
-// removes the satisfied wait edges. Callers hold s.mu; the returned map is
-// consumed by notifyWaiters outside the lock (transport sends must never
-// happen under the site mutex).
-func (s *Site) wakeTargetsLocked(id txn.ID) map[txn.ID]int {
-	var out map[txn.ID]int
-	for _, ds := range s.docs {
-		for _, w := range ds.graph.Waiters(id) {
-			ds.graph.RemoveEdge(w, id)
-			coordSite, ok := s.coordOf[w]
-			if !ok {
-				coordSite = w.Site // transaction IDs embed their coordinator
-			}
-			if out == nil {
-				out = make(map[txn.ID]int)
-			}
-			out[w] = coordSite
-		}
+// collectWaitersLocked appends the transactions waiting on id in one
+// document's lock manager, removing the satisfied wait edges. Callers hold
+// ds.mu.
+func collectWaitersLocked(ds *docState, id txn.ID, waiters []txn.ID) []txn.ID {
+	for _, w := range ds.graph.Waiters(id) {
+		ds.graph.RemoveEdge(w, id)
+		waiters = append(waiters, w)
 	}
+	return waiters
+}
+
+// waiterCoordinators maps waiting transactions to their coordinator sites.
+// The returned map is consumed by notifyWaiters outside any mutex
+// (transport sends must never happen under a scheduler mutex).
+func (s *Site) waiterCoordinators(waiters []txn.ID) map[txn.ID]int {
+	if len(waiters) == 0 {
+		return nil
+	}
+	out := make(map[txn.ID]int, len(waiters))
+	s.mu.Lock()
+	for _, w := range waiters {
+		coordSite, ok := s.coordOf[w]
+		if !ok {
+			coordSite = w.Site // transaction IDs embed their coordinator
+		}
+		out[w] = coordSite
+	}
+	s.mu.Unlock()
 	return out
 }
 
-// localEdgesLocked snapshots the union of this site's per-document wait-for
-// graphs — the site's contribution to Algorithm 4. Callers hold s.mu.
-func (s *Site) localEdgesLocked() []wfg.Edge {
+// releaseLocks releases every lock of the transaction in the named
+// documents (strict-2PL release) and returns the waiters to wake, mapped
+// to their coordinator sites. It also drops the transaction from those
+// documents' wait-for graphs. Locks and wait edges can only exist in
+// documents the transaction touched (partTxn.docs), so passing
+// pt.docNames() keeps release O(touched documents), not O(site documents).
+func (s *Site) releaseLocks(id txn.ID, names []string) map[txn.ID]int {
+	var waiters []txn.ID
+	for _, name := range names {
+		ds := s.doc(name)
+		if ds == nil {
+			continue
+		}
+		ds.mu.Lock()
+		ds.table.ReleaseAll(id)
+		// Capture waiters before dropping the transaction from the graph,
+		// so exactly those that were blocked on it are woken.
+		waiters = collectWaitersLocked(ds, id, waiters)
+		ds.graph.RemoveTxn(id)
+		ds.mu.Unlock()
+	}
+	return s.waiterCoordinators(waiters)
+}
+
+// localEdges snapshots the union of this site's per-document wait-for
+// graphs — the site's contribution to Algorithm 4.
+func (s *Site) localEdges() []wfg.Edge {
 	var out []wfg.Edge
-	for _, ds := range s.docs {
+	for _, ds := range s.allDocs() {
+		ds.mu.Lock()
 		out = append(out, ds.graph.Edges()...)
+		ds.mu.Unlock()
 	}
 	return out
 }
@@ -265,103 +336,157 @@ func (s *Site) notifyWaiters(targets map[txn.ID]int) {
 	}
 }
 
-// commitLocal consolidates a transaction at this site: persist its changes
-// through the DataManager and release its locks (Algorithm 5, l. 10–11).
+// tombstone marks a transaction terminated and unregisters its participant
+// state, returning the record. Marking BEFORE releasing any lock or undoing
+// any effect is what closes the race with a stale in-flight operation: the
+// operation re-checks the tombstone under the document mutex before
+// granting, so it either grants before the cleanup's release (which then
+// observes and frees the grant) or refuses.
+func (s *Site) tombstone(id txn.ID) *partTxn {
+	s.mu.Lock()
+	pt := s.part[id]
+	s.markFinishedLocked(id)
+	delete(s.part, id)
+	delete(s.coordOf, id)
+	s.mu.Unlock()
+	return pt
+}
+
+// commitLocal consolidates a transaction at this site: hand its documents
+// to the persist pipeline and release its locks (Algorithm 5, l. 10–11).
+// The commit path itself does no serialization and no I/O beyond the
+// journal intent — the pipeline snapshots the document under its mutex and
+// marshals + writes outside it, in commit order (persist.go).
+//
+// Refusals (a latched background persist failure, a journal error) happen
+// before any teardown, so the coordinator's subsequent abort still finds
+// the participant state intact and rolls the transaction back cleanly. The
+// coordinator only commits once every operation has completed at every
+// site, so no operation of the transaction is in flight here during the
+// dirty scan.
 func (s *Site) commitLocal(id txn.ID) error {
 	s.mu.Lock()
 	pt := s.part[id]
+	s.mu.Unlock()
+
+	// Collect the documents with unpersisted changes and refuse if any of
+	// them has a latched background persist failure.
+	var names []string
 	var toPersist []*docState
 	if pt != nil {
-		for name := range pt.docs {
-			if ds := s.docs[name]; ds != nil && ds.dirty[id] {
+		names = pt.docNames()
+		for _, name := range names {
+			ds := s.doc(name)
+			if ds == nil {
+				continue
+			}
+			ds.mu.Lock()
+			perr := ds.persistErr
+			dirty := ds.dirty[id]
+			ds.mu.Unlock()
+			if perr != nil {
+				return perr
+			}
+			if dirty {
 				toPersist = append(toPersist, ds)
 			}
 		}
 	}
-	// Persist before releasing locks: the lock set still protects the
-	// modified regions, so the snapshot written is the committed state. With
-	// a journal configured, an intent record precedes the persists and a
-	// commit record seals them, so a crash in between is detectable.
+
+	// WAL intent before any snapshot can reach the Store; written
+	// synchronously so a crash after the commit ack still leaves the
+	// in-doubt record Recover looks for.
+	var group *persistGroup
 	if s.cfg.Journal != nil && len(toPersist) > 0 {
 		docs := make([]string, len(toPersist))
 		for i, ds := range toPersist {
 			docs[i] = ds.doc.Name
 		}
 		if err := s.cfg.Journal.LogIntent(id.String(), docs); err != nil {
-			s.mu.Unlock()
 			return fmt.Errorf("sched: journal intent: %w", err)
 		}
+		group = &persistGroup{id: id, remaining: int64(len(toPersist))}
 	}
+
+	// Point of no return: tombstone (see tombstone), then hand the
+	// documents to the persist pipeline, then release. The pipeline's next
+	// flush of each document necessarily includes this transaction's
+	// committed changes — the tree only moves forward from here (later
+	// commits add theirs; aborts undo only their own).
+	s.tombstone(id)
 	for _, ds := range toPersist {
-		if err := s.cfg.Store.Save(ds.doc); err != nil {
-			s.mu.Unlock()
-			return fmt.Errorf("sched: persist %s: %w", ds.doc.Name, err)
-		}
+		ds.mu.Lock()
 		delete(ds.dirty, id)
+		s.schedulePersistLocked(ds, group)
+		ds.mu.Unlock()
 	}
-	if s.cfg.Journal != nil && len(toPersist) > 0 {
-		if err := s.cfg.Journal.LogCommit(id.String()); err != nil {
-			s.mu.Unlock()
-			return fmt.Errorf("sched: journal commit: %w", err)
-		}
-	}
-	for _, ds := range s.docs {
-		ds.table.ReleaseAll(id)
-	}
-	// Capture waiters before dropping the transaction from the graphs, so
-	// exactly those that were blocked on it are woken.
-	wake := s.wakeTargetsLocked(id)
-	for _, ds := range s.docs {
-		ds.graph.RemoveTxn(id)
-	}
-	delete(s.part, id)
-	delete(s.coordOf, id)
-	s.markFinishedLocked(id)
-	s.mu.Unlock()
+	wake := s.releaseLocks(id, names)
 	s.notifyWaiters(wake)
 	return nil
 }
 
 // abortLocal cancels a transaction at this site: undo every operation in
-// reverse order and release all locks (Algorithm 6, l. 13–14).
+// reverse order and release all locks (Algorithm 6, l. 13–14). Unlike
+// commit, an abort CAN race a stale in-flight operation of the same
+// transaction (an exchange abandoned by cancellation); the tombstone plus
+// the per-document barrier below make the undo set complete.
 func (s *Site) abortLocal(id txn.ID) error {
-	s.mu.Lock()
-	pt := s.part[id]
+	pt := s.tombstone(id)
+	var names []string
 	if pt != nil {
+		names = pt.docNames()
+		pt.cleanupMu.Lock()
+		// Barrier: an in-flight operation that passed its tombstone
+		// re-check holds the document mutex from that check through its
+		// undo recording, so acquiring each touched document's mutex once
+		// orders every such operation's effects before the undo snapshot
+		// below; operations arriving later are refused by the tombstone.
+		for _, name := range names {
+			if ds := s.doc(name); ds != nil {
+				ds.mu.Lock()
+				_ = ds // the empty critical section is the barrier
+				ds.mu.Unlock()
+			}
+		}
 		// Undo operations newest-first.
+		undo := pt.takeAllUndo()
 		var opIdxs []int
-		for idx := range pt.undo {
+		for idx := range undo {
 			opIdxs = append(opIdxs, idx)
 		}
 		sort.Sort(sort.Reverse(sort.IntSlice(opIdxs)))
 		for _, idx := range opIdxs {
-			entries := pt.undo[idx]
+			entries := undo[idx]
 			for i := len(entries) - 1; i >= 0; i-- {
 				e := entries[i]
-				if ds := s.docs[e.doc]; ds != nil {
+				if ds := s.doc(e.doc); ds != nil {
+					ds.mu.Lock()
 					if err := e.rec.Undo(ds.doc, ds.guide); err != nil {
+						ds.mu.Unlock()
+						pt.cleanupMu.Unlock()
 						panic(fmt.Sprintf("sched: undo of %s op %d failed: %v", id, idx, err))
 					}
+					ds.mu.Unlock()
 				}
 			}
 		}
-		for name := range pt.docs {
-			if ds := s.docs[name]; ds != nil {
-				delete(ds.dirty, id)
+		pt.cleanupMu.Unlock()
+		for _, name := range names {
+			if ds := s.doc(name); ds != nil {
+				ds.mu.Lock()
+				if ds.dirty[id] {
+					delete(ds.dirty, id)
+					// A flush inside the batching window may have captured
+					// this transaction's now-undone changes; schedule a
+					// corrective write so the Store converges back to the
+					// committed state instead of retaining an aborted one.
+					s.schedulePersistLocked(ds, nil)
+				}
+				ds.mu.Unlock()
 			}
 		}
 	}
-	for _, ds := range s.docs {
-		ds.table.ReleaseAll(id)
-	}
-	wake := s.wakeTargetsLocked(id)
-	for _, ds := range s.docs {
-		ds.graph.RemoveTxn(id)
-	}
-	delete(s.part, id)
-	delete(s.coordOf, id)
-	s.markFinishedLocked(id)
-	s.mu.Unlock()
+	wake := s.releaseLocks(id, names)
 	s.notifyWaiters(wake)
 	return nil
 }

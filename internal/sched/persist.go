@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// The persist pipeline gets XML serialization out of the scheduling domain
+// and off the commit path entirely. A commit only marks its document
+// persist-pending (O(1) under the domain mutex); a per-document worker
+// wakes after a short batching window, snapshots the document under the
+// domain mutex (an arena tree copy, no I/O), and marshals + writes the
+// snapshot to the Store outside every scheduler mutex. Snapshots are
+// cumulative document states, so one write makes every commit of the
+// window durable — group persistence: under heavy commit traffic the Store
+// converges to the latest committed state through a subsequence of the
+// commit history instead of absorbing one full serialization per commit,
+// and the write rate per document is bounded by the window, not the load.
+// Writes per document are issued by a single worker, strictly in commit
+// order.
+//
+// The WAL contract holds around the pipeline: the journal intent record is
+// written synchronously in commitLocal before the commit is acknowledged,
+// and the commit record is written after the LAST of the transaction's
+// documents has actually been saved (persistGroup). Between the two — the
+// ack-to-write window — a crash leaves an in-doubt record, exactly the
+// recovery semantics the journal documents.
+//
+// A background Save failure is latched on the document (persistErr) and
+// counted in Stats.PersistErrors: the document's persistent state can no
+// longer be assumed to converge, so subsequent commits touching it refuse
+// consolidation — the failure surfaces on the next commit instead of being
+// silently dropped. Site.Sync waits for every acknowledged commit to reach
+// the Store; Site.Stop drains the same way before returning.
+
+// persistGroup joins the per-document persists of one multi-document
+// commit: the flush that covers the last outstanding document writes the
+// journal commit record.
+type persistGroup struct {
+	id        txn.ID
+	remaining int64
+	failed    int64 // any Save covering the group failed: leave the txn in-doubt
+}
+
+// Sync blocks until every persist pending from already-acknowledged commits
+// has reached the Store (and, with a journal configured, their commit
+// records are written). Commits acknowledged while Sync is blocked may or
+// may not be covered. Tools and tests use it to observe the Store at a
+// quiescent point without stopping the site.
+func (s *Site) Sync() {
+	s.persistMu.Lock()
+	for s.persistCount > 0 {
+		s.persistCond.Wait()
+	}
+	s.persistMu.Unlock()
+}
+
+// schedulePersistLocked marks the document persist-pending on behalf of one
+// terminating transaction and starts the drain worker if none is running.
+// Callers hold ds.mu.
+func (s *Site) schedulePersistLocked(ds *docState, group *persistGroup) {
+	ds.persistPending++
+	if group != nil {
+		ds.persistGroups = append(ds.persistGroups, group)
+	}
+	s.persistMu.Lock()
+	s.persistCount++
+	s.persistMu.Unlock()
+	if !ds.persistActive {
+		ds.persistActive = true
+		go s.persistWorker(ds)
+	}
+}
+
+// persistDone retires n pending persists and wakes Sync waiters at zero.
+func (s *Site) persistDone(n int64) {
+	s.persistMu.Lock()
+	s.persistCount -= n
+	if s.persistCount == 0 {
+		s.persistCond.Broadcast()
+	}
+	s.persistMu.Unlock()
+}
+
+// persistWorker flushes one document's pending commits and exits when none
+// remain. At most one worker runs per document (persistActive), which is
+// what keeps Store writes in commit order.
+func (s *Site) persistWorker(ds *docState) {
+	for {
+		// Batching window: let a burst of commits accumulate behind one
+		// snapshot. Stop short-circuits the wait so shutdown drains
+		// promptly.
+		if delay := s.cfg.PersistDelay; delay > 0 {
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-s.stopCh:
+				timer.Stop()
+			}
+		}
+
+		ds.mu.Lock()
+		if ds.persistPending == 0 {
+			ds.persistActive = false
+			ds.mu.Unlock()
+			return
+		}
+		covered := ds.persistPending
+		groups := ds.persistGroups
+		ds.persistPending = 0
+		ds.persistGroups = nil
+		// The snapshot is the only persist work under the domain mutex: an
+		// arena copy of the tree. Marshal and I/O happen below, unlocked.
+		snap := ds.doc.Snapshot()
+		ds.mu.Unlock()
+
+		err := s.cfg.Store.Save(snap)
+		if err != nil {
+			atomic.AddInt64(&s.stats.PersistErrors, 1)
+			ds.mu.Lock()
+			if ds.persistErr == nil {
+				ds.persistErr = fmt.Errorf("sched: persist %s: %w", ds.doc.Name, err)
+			}
+			ds.mu.Unlock()
+		}
+		for _, group := range groups {
+			if err != nil {
+				atomic.StoreInt64(&group.failed, 1)
+			}
+			if atomic.AddInt64(&group.remaining, -1) == 0 &&
+				atomic.LoadInt64(&group.failed) == 0 {
+				// Sealing record once every document of the transaction is
+				// in the Store. Best effort, like the Save itself: a failed
+				// or skipped commit record leaves the transaction in-doubt,
+				// which Recover reports.
+				_ = s.cfg.Journal.LogCommit(group.id.String())
+			}
+		}
+		s.persistDone(covered)
+	}
+}

@@ -106,7 +106,9 @@ func TestSingleSiteQueryAndUpdate(t *testing.T) {
 	if len(res.Results[2]) != 3 {
 		t.Fatalf("op2 results = %v (insert not visible to own txn)", res.Results[2])
 	}
-	// Committed data persisted through the DataManager.
+	// Committed data persisted through the DataManager; drain the async
+	// persist pipeline before observing the Store.
+	s.Sync()
 	stored, err := s.cfg.Store.Load("d2")
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/txn"
 )
@@ -333,19 +334,19 @@ func (sess *Session) finishLocked(state txn.State, cause error) {
 	sess.done = true
 	sess.state = state
 	sess.err = cause
-	s.mu.Lock()
 	switch state {
 	case txn.Committed:
-		s.stats.TxnsCommitted++
+		atomic.AddInt64(&s.stats.TxnsCommitted, 1)
 	case txn.Aborted:
-		s.stats.TxnsAborted++
+		atomic.AddInt64(&s.stats.TxnsAborted, 1)
 		if errors.Is(cause, txn.ErrDeadlock) {
-			s.stats.DeadlockAborts++
+			atomic.AddInt64(&s.stats.DeadlockAborts, 1)
 		}
 	case txn.Failed:
-		s.stats.TxnsFailed++
+		atomic.AddInt64(&s.stats.TxnsFailed, 1)
 	}
 	sess.ct.t.State = state
+	s.mu.Lock()
 	delete(s.coord, id)
 	s.mu.Unlock()
 	close(sess.ct.finished)

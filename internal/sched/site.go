@@ -8,16 +8,27 @@
 //
 // Concurrency model: the paper's Algorithm 1 is a scheduler loop that
 // multiplexes transactions from a queue; here each client transaction runs
-// in its submitting goroutine and the per-site mutex serialises lock-manager
-// and document state, which yields the same histories (operations of one
-// transaction are sequential; operations of different transactions
-// interleave only at lock-manager granularity) in idiomatic Go.
+// in its submitting goroutine and a per-DOCUMENT mutex serialises that
+// document's lock manager, DataGuide and tree, which yields the same
+// histories (operations of one transaction are sequential; operations of
+// different transactions interleave only at lock-manager granularity) in
+// idiomatic Go. Each document is its own scheduling domain: transactions
+// touching different documents at one site never contend on a mutex, and
+// commit-time persistence snapshots the document under its lock but
+// marshals and writes to the Store outside it (see persist.go). The slim
+// site mutex guards only site-lifecycle state — the clock, transaction
+// registries, and the finished-transaction tombstones.
+//
+// Lock ordering: a docState mutex may be held while taking site.mu or a
+// partTxn mutex; neither may be held while taking a docState mutex. The
+// partTxn mutex is a leaf.
 package sched
 
 import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataguide"
@@ -28,6 +39,7 @@ import (
 	"repro/internal/txn"
 	"repro/internal/wfg"
 	"repro/internal/xmltree"
+	"repro/internal/xpath"
 	"repro/internal/xupdate"
 )
 
@@ -68,6 +80,13 @@ type Config struct {
 	// persisting, commit after) so a restarted site can detect in-doubt
 	// transactions — the durability direction of the paper's future work.
 	Journal *store.Journal
+	// PersistDelay is the batching window of the persist pipeline: commits
+	// acknowledge immediately and the document is written to the Store at
+	// most once per window, covering every commit that accumulated behind
+	// it (persist.go). Zero selects the default (2ms); negative flushes
+	// with no window (still asynchronous). Site.Sync / Site.Stop drain the
+	// pipeline.
+	PersistDelay time.Duration
 }
 
 // GrantInfo describes one granted lock for history recording.
@@ -103,13 +122,18 @@ func (c Config) withDefaults() Config {
 	if c.RetryInterval <= 0 {
 		c.RetryInterval = 25 * time.Millisecond
 	}
+	if c.PersistDelay == 0 {
+		c.PersistDelay = 2 * time.Millisecond
+	}
 	if len(c.Sites) == 0 {
 		c.Sites = []int{c.SiteID}
 	}
 	return c
 }
 
-// Stats counts site-level events; all counters are monotonic.
+// Stats counts site-level events; all counters are monotonic. The site
+// updates them with atomics so the hot path never takes a mutex for
+// accounting.
 type Stats struct {
 	TxnsCommitted      int64
 	TxnsAborted        int64
@@ -122,6 +146,7 @@ type Stats struct {
 	RemoteOpsSent      int64
 	RemoteOpsProcessed int64
 	LocksAcquired      int64
+	PersistErrors      int64 // background persist failures (see persist.go)
 }
 
 // docState bundles the in-memory representation of one document at a site:
@@ -131,12 +156,30 @@ type Stats struct {
 // site s2 but in different documents' lock managers, and the paper resolves
 // the cycle with the *periodic distributed* check, not the local one —
 // which is only possible if the local graphs are disjoint per document.
+//
+// Each docState is one scheduling domain: its mutex serialises every access
+// to the document, guide, table, graph, dirty set and persist queue, so
+// transactions on different documents at one site proceed fully in
+// parallel.
 type docState struct {
+	mu    sync.Mutex
 	doc   *xmltree.Document
 	guide *dataguide.DataGuide
 	table *lock.Table
 	graph *wfg.Graph
 	dirty map[txn.ID]bool // transactions with unpersisted changes
+
+	// Persist pipeline (persist.go). Commits bump persistPending under mu;
+	// a single on-demand worker snapshots and writes the document once per
+	// batching window, so Store writes observe per-document commit order
+	// while the marshal and I/O happen outside the domain mutex.
+	// persistErr latches the first background write failure: the document's
+	// persistent state can no longer be trusted to converge, so later
+	// commits on it are refused.
+	persistPending int64
+	persistGroups  []*persistGroup
+	persistActive  bool
+	persistErr     error
 }
 
 // undoEntry is one applied update of one operation, with its inverse.
@@ -147,13 +190,69 @@ type undoEntry struct {
 
 // partTxn is the participant-side record of a transaction that has executed
 // (or tried to execute) operations at this site. The coordinator's own site
-// keeps one too, so commit/abort treat all sites uniformly.
+// keeps one too, so commit/abort treat all sites uniformly. The mutex (a
+// leaf in the lock order) guards undo and docs: concurrent batched reads of
+// one transaction, and a stale operation racing the transaction's cleanup,
+// can touch them from different document domains.
 type partTxn struct {
 	id          txn.ID
 	ts          txn.TS
 	coordinator int
-	undo        map[int][]undoEntry // op index -> applied updates
-	docs        map[string]bool     // documents touched here
+
+	// cleanupMu serialises undo application between an operation-level undo
+	// (undoOpLocal) and the transaction-level abort: whichever takes an
+	// op's undo entries applies them before the other proceeds, so an
+	// abort can never release locks while an operation undo is still being
+	// applied. Ordering: cleanupMu may be held while taking a docState
+	// mutex; never the reverse.
+	cleanupMu sync.Mutex
+
+	mu   sync.Mutex
+	undo map[int][]undoEntry // op index -> applied updates
+	docs map[string]bool     // documents touched here
+}
+
+// touch records a document as touched by the transaction at this site.
+func (pt *partTxn) touch(doc string) {
+	pt.mu.Lock()
+	pt.docs[doc] = true
+	pt.mu.Unlock()
+}
+
+// docNames snapshots the touched documents.
+func (pt *partTxn) docNames() []string {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	out := make([]string, 0, len(pt.docs))
+	for name := range pt.docs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// addUndo appends one applied update of one operation.
+func (pt *partTxn) addUndo(opIdx int, e undoEntry) {
+	pt.mu.Lock()
+	pt.undo[opIdx] = append(pt.undo[opIdx], e)
+	pt.mu.Unlock()
+}
+
+// takeUndo removes and returns the undo entries of one operation.
+func (pt *partTxn) takeUndo(opIdx int) []undoEntry {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	entries := pt.undo[opIdx]
+	delete(pt.undo, opIdx)
+	return entries
+}
+
+// takeAllUndo removes and returns every undo entry, keyed by operation.
+func (pt *partTxn) takeAllUndo() map[int][]undoEntry {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	undo := pt.undo
+	pt.undo = make(map[int][]undoEntry)
+	return undo
 }
 
 // coordTxn is the coordinator-side state of a transaction submitted here.
@@ -226,14 +325,17 @@ type Site struct {
 	cfg Config
 	id  int
 
+	// mu guards site-lifecycle state only: the logical clock, the sequence
+	// counter, the transaction registries and the finished tombstones.
+	// Document state lives behind each docState's own mutex, so the hot
+	// path holds mu for map lookups and counter ticks, never for lock-table
+	// work, query evaluation or persistence.
 	mu      sync.Mutex
 	clock   txn.Clock
 	seq     int64
-	docs    map[string]*docState
 	coord   map[txn.ID]*coordTxn
 	part    map[txn.ID]*partTxn
 	coordOf map[txn.ID]int // any transaction seen here -> its coordinator site
-	stats   Stats
 	// finished tombstones recently-terminated transactions. The pipelined
 	// transport does not order an abandoned operation exchange against the
 	// cleanup messages sent after it, so a stale ExecOpReq can reach a
@@ -244,6 +346,19 @@ type Site struct {
 	finishedRing []txn.ID
 	finishedIdx  int
 
+	// docsMu guards the docs map itself (installation of new documents);
+	// docStates are never removed, so a looked-up pointer stays valid.
+	docsMu sync.RWMutex
+	docs   map[string]*docState
+
+	// stats is accessed with atomics only.
+	stats Stats
+
+	// queries caches parsed XPath per raw query text, site-wide: repeated
+	// query templates skip the lexer and parser entirely. Update target
+	// paths are pre-parsed on the Update itself (xupdate.Validate).
+	queries *xpath.Cache
+
 	node   transport.Node
 	stopCh chan struct{}
 	// ctx is the site's lifecycle context: background processes (the
@@ -253,6 +368,14 @@ type Site struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	// persistMu/persistCond/persistCount track in-flight background
+	// persists so Sync and Stop can wait for every acknowledged commit to
+	// reach the Store. A plain counter with a condition variable, not a
+	// WaitGroup: commits keep incrementing while other goroutines wait,
+	// which WaitGroup forbids (Add racing Wait across a zero crossing).
+	persistMu    sync.Mutex
+	persistCond  *sync.Cond
+	persistCount int64
 }
 
 // New creates a site instance. Documents must be loaded with LoadDocument
@@ -260,7 +383,7 @@ type Site struct {
 func New(cfg Config) *Site {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Site{
+	s := &Site{
 		cfg:          cfg,
 		id:           cfg.SiteID,
 		docs:         make(map[string]*docState),
@@ -269,10 +392,40 @@ func New(cfg Config) *Site {
 		coordOf:      make(map[txn.ID]int),
 		finished:     make(map[txn.ID]struct{}),
 		finishedRing: make([]txn.ID, 4096),
+		queries:      xpath.NewCache(4096),
 		stopCh:       make(chan struct{}),
 		ctx:          ctx,
 		cancel:       cancel,
 	}
+	s.persistCond = sync.NewCond(&s.persistMu)
+	return s
+}
+
+// doc returns the scheduling domain of a document, or nil.
+func (s *Site) doc(name string) *docState {
+	s.docsMu.RLock()
+	ds := s.docs[name]
+	s.docsMu.RUnlock()
+	return ds
+}
+
+// allDocs snapshots every scheduling domain at the site.
+func (s *Site) allDocs() []*docState {
+	s.docsMu.RLock()
+	out := make([]*docState, 0, len(s.docs))
+	for _, ds := range s.docs {
+		out = append(out, ds)
+	}
+	s.docsMu.RUnlock()
+	return out
+}
+
+// isFinished reports whether the transaction is tombstoned at this site.
+func (s *Site) isFinished(id txn.ID) bool {
+	s.mu.Lock()
+	_, dead := s.finished[id]
+	s.mu.Unlock()
+	return dead
 }
 
 // markFinishedLocked tombstones a terminated transaction. Callers hold
@@ -324,7 +477,9 @@ func (s *Site) AttachNetwork(net *transport.Network) error {
 
 // Stop terminates background processes and detaches from the network.
 // Cancelling the lifecycle context unblocks a detector poll that is waiting
-// on an unresponsive peer, so Stop never hangs behind it.
+// on an unresponsive peer, so Stop never hangs behind it. Stop drains the
+// persist pipeline: every commit acknowledged before Stop is in the Store
+// when Stop returns.
 func (s *Site) Stop() {
 	select {
 	case <-s.stopCh:
@@ -333,6 +488,7 @@ func (s *Site) Stop() {
 	}
 	s.cancel()
 	s.wg.Wait()
+	s.Sync()
 	if s.node != nil {
 		s.node.Close()
 	}
@@ -340,9 +496,20 @@ func (s *Site) Stop() {
 
 // Stats returns a snapshot of the site's counters.
 func (s *Site) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		TxnsCommitted:      atomic.LoadInt64(&s.stats.TxnsCommitted),
+		TxnsAborted:        atomic.LoadInt64(&s.stats.TxnsAborted),
+		TxnsFailed:         atomic.LoadInt64(&s.stats.TxnsFailed),
+		DeadlockAborts:     atomic.LoadInt64(&s.stats.DeadlockAborts),
+		LocalDeadlocks:     atomic.LoadInt64(&s.stats.LocalDeadlocks),
+		DistDeadlocks:      atomic.LoadInt64(&s.stats.DistDeadlocks),
+		OpsExecuted:        atomic.LoadInt64(&s.stats.OpsExecuted),
+		OpConflicts:        atomic.LoadInt64(&s.stats.OpConflicts),
+		RemoteOpsSent:      atomic.LoadInt64(&s.stats.RemoteOpsSent),
+		RemoteOpsProcessed: atomic.LoadInt64(&s.stats.RemoteOpsProcessed),
+		LocksAcquired:      atomic.LoadInt64(&s.stats.LocksAcquired),
+		PersistErrors:      atomic.LoadInt64(&s.stats.PersistErrors),
+	}
 }
 
 // AddDocument installs a document at this site (in memory and in the store)
@@ -352,7 +519,7 @@ func (s *Site) AddDocument(doc *xmltree.Document) error {
 		return err
 	}
 	g := dataguide.Build(doc)
-	s.mu.Lock()
+	s.docsMu.Lock()
 	s.docs[doc.Name] = &docState{
 		doc:   doc,
 		guide: g,
@@ -360,7 +527,7 @@ func (s *Site) AddDocument(doc *xmltree.Document) error {
 		graph: wfg.New(),
 		dirty: make(map[txn.ID]bool),
 	}
-	s.mu.Unlock()
+	s.docsMu.Unlock()
 	if !s.cfg.Catalog.Holds(doc.Name, s.id) {
 		sites := append(s.cfg.Catalog.Sites(doc.Name), s.id)
 		s.cfg.Catalog.Place(doc.Name, sites...)
@@ -377,7 +544,7 @@ func (s *Site) LoadDocument(name string) error {
 		return err
 	}
 	g := dataguide.Build(doc)
-	s.mu.Lock()
+	s.docsMu.Lock()
 	s.docs[name] = &docState{
 		doc:   doc,
 		guide: g,
@@ -385,7 +552,7 @@ func (s *Site) LoadDocument(name string) error {
 		graph: wfg.New(),
 		dirty: make(map[txn.ID]bool),
 	}
-	s.mu.Unlock()
+	s.docsMu.Unlock()
 	if !s.cfg.Catalog.Holds(name, s.id) {
 		s.cfg.Catalog.Place(name, append(s.cfg.Catalog.Sites(name), s.id)...)
 	}
@@ -416,19 +583,19 @@ func (s *Site) Bootstrap() ([]store.InDoubt, error) {
 // Document returns a deep copy of the current in-memory document, for
 // inspection by tests and tools without racing the schedulers.
 func (s *Site) Document(name string) (*xmltree.Document, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ds := s.docs[name]
+	ds := s.doc(name)
 	if ds == nil {
 		return nil, fmt.Errorf("sched: site %d does not hold %q", s.id, name)
 	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	return ds.doc.Clone(), nil
 }
 
 // Documents lists the documents held in memory at this site.
 func (s *Site) Documents() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.docsMu.RLock()
+	defer s.docsMu.RUnlock()
 	out := make([]string, 0, len(s.docs))
 	for name := range s.docs {
 		out = append(out, name)
@@ -461,10 +628,7 @@ func (s *Site) HandleMessage(from int, msg any) (any, error) {
 		s.failLocal(m.Txn)
 		return transport.Ack{OK: true}, nil
 	case transport.WFGReq:
-		s.mu.Lock()
-		edges := s.localEdgesLocked()
-		s.mu.Unlock()
-		return transport.WFGResp{Edges: edges}, nil
+		return transport.WFGResp{Edges: s.localEdges()}, nil
 	case transport.VictimReq:
 		s.signalAbort(m.Txn, m.Reason)
 		return transport.Ack{OK: true}, nil

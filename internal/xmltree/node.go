@@ -388,6 +388,50 @@ func (d *Document) Clone() *Document {
 	return nd
 }
 
+// Snapshot produces a read-only deep copy of the tree for off-lock
+// serialization: the copy shares no mutable state with the original, but it
+// does not support further mutation (it has no node index, so NewElement
+// and ID lookups do not work on it). Unlike Clone it allocates the whole
+// tree in a handful of arena blocks, so snapshotting a document on every
+// commit does not flood the garbage collector with per-node allocations.
+func (d *Document) Snapshot() *Document {
+	nd := &Document{Name: d.Name, nextID: d.nextID}
+	nd.lastWriteSize.Store(d.lastWriteSize.Load())
+	count, attrTotal := 0, 0
+	d.Walk(func(n *Node) bool {
+		count++
+		attrTotal += len(n.Attrs)
+		return true
+	})
+	// Arena blocks. childPtrs and attrs are sliced up without ever growing
+	// (every non-root node is a child exactly once), so interior pointers
+	// stay valid.
+	arena := make([]Node, 0, count)
+	childPtrs := make([]*Node, 0, count)
+	attrs := make([]Attr, 0, attrTotal)
+	var clone func(n *Node, parent *Node) *Node
+	clone = func(n *Node, parent *Node) *Node {
+		arena = append(arena, Node{ID: n.ID, Name: n.Name, Text: n.Text, Parent: parent, doc: nd})
+		cp := &arena[len(arena)-1]
+		if len(n.Attrs) > 0 {
+			start := len(attrs)
+			attrs = append(attrs, n.Attrs...)
+			cp.Attrs = attrs[start:len(attrs):len(attrs)]
+		}
+		if len(n.Children) > 0 {
+			start := len(childPtrs)
+			childPtrs = childPtrs[:start+len(n.Children)]
+			cp.Children = childPtrs[start:len(childPtrs):len(childPtrs)]
+			for i, c := range n.Children {
+				cp.Children[i] = clone(c, cp)
+			}
+		}
+		return cp
+	}
+	nd.Root = clone(d.Root, nil)
+	return nd
+}
+
 // Equal reports deep structural equality of two documents: same names,
 // attributes (order-insensitive), text and child order. Node IDs are not
 // compared, so a reparsed document can equal the original.

@@ -364,3 +364,24 @@ func TestPropertyDetachAttachIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSnapshotMatchesClone(t *testing.T) {
+	doc, err := ParseString("d", `<r a="1"><b>text</b><c><d x="y"/></c><b>two</b></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := doc.Snapshot()
+	if !Equal(doc, snap) {
+		t.Fatalf("snapshot differs:\n%s\nvs\n%s", doc, snap)
+	}
+	if doc.String() != snap.String() {
+		t.Fatal("serialized forms differ")
+	}
+	// The snapshot shares no mutable state: mutating the original must not
+	// show through.
+	doc.Root.Children[0].Text = "mutated"
+	doc.Root.Attrs[0].Value = "2"
+	if snap.Root.Children[0].Text != "text" || snap.Root.Attrs[0].Value != "1" {
+		t.Fatal("snapshot aliased the original document")
+	}
+}

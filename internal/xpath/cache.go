@@ -1,0 +1,64 @@
+package xpath
+
+import "sync"
+
+// Cache is a bounded, concurrency-safe parse cache keyed on the raw query
+// text. Parsed queries are immutable after Parse, so one *Query can be
+// shared by every goroutine that submits the same expression — the
+// scheduler keeps one cache per site so a repeated query template costs a
+// map hit instead of a lex+parse per operation.
+//
+// The bound is a simple flush: when the cache reaches capacity it is
+// cleared and rebuilt from subsequent traffic. Workloads have a bounded set
+// of query *templates* but an unbounded set of predicate values, so an
+// occasional full flush is cheaper than per-entry eviction bookkeeping on
+// the hot path.
+type Cache struct {
+	mu  sync.RWMutex
+	max int
+	m   map[string]*Query
+}
+
+// NewCache creates a cache bounded to max entries (a non-positive max gets
+// a generous default).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Cache{max: max, m: make(map[string]*Query)}
+}
+
+// Get returns the parsed form of raw, parsing and caching on a miss. Parse
+// errors are returned without being cached: erroneous queries are rejected
+// before reaching any scheduler hot path, so they do not recur.
+func (c *Cache) Get(raw string) (*Query, error) {
+	c.mu.RLock()
+	q := c.m[raw]
+	c.mu.RUnlock()
+	if q != nil {
+		return q, nil
+	}
+	q, err := Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if cached := c.m[raw]; cached != nil {
+		// A concurrent miss parsed it first; share that instance.
+		q = cached
+	} else {
+		if len(c.m) >= c.max {
+			c.m = make(map[string]*Query)
+		}
+		c.m[raw] = q
+	}
+	c.mu.Unlock()
+	return q, nil
+}
+
+// Len returns the current number of cached queries.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -64,13 +64,15 @@ type Step struct {
 	Preds []Pred
 }
 
-// Query is a parsed XPath expression of the DTX subset.
+// Query is a parsed XPath expression of the DTX subset. A Query is
+// immutable after Parse and safe to share between goroutines.
 type Query struct {
 	Steps []Step
 	// Attr, when non-empty, selects the named attribute of the target nodes
 	// (a trailing /@name step).
-	Attr string
-	raw  string
+	Attr      string
+	raw       string
+	structKey string
 }
 
 // String returns the canonical textual form of the query.
@@ -109,6 +111,39 @@ func (q *Query) String() string {
 
 // Raw returns the original query text as given to Parse.
 func (q *Query) Raw() string { return q.raw }
+
+// StructureKey returns a canonical rendering of the parts of the query that
+// determine its evaluation against a structural summary: the axes and
+// element names of every step, plus the child-element names of predicates.
+// Predicate *values* and positions are omitted — a DataGuide cannot decide
+// them, so two queries differing only there reach exactly the same summary
+// nodes. Structural-summary caches key on this instead of Raw so that e.g.
+// //person[id='7']/name and //person[id='9']/name share one entry.
+func (q *Query) StructureKey() string {
+	if q.structKey == "" {
+		// Queries assembled literally (tests) bypass Parse; derive per call
+		// rather than share the empty key between distinct shapes.
+		return structureKey(q)
+	}
+	return q.structKey
+}
+
+// structureKey builds the StructureKey; called once at Parse.
+func structureKey(q *Query) string {
+	var b strings.Builder
+	for _, s := range q.Steps {
+		b.WriteString(s.Axis.String())
+		b.WriteString(s.Name)
+		for _, p := range s.Preds {
+			if p.Kind == PredChild {
+				b.WriteByte('[')
+				b.WriteString(p.Name)
+				b.WriteByte(']')
+			}
+		}
+	}
+	return b.String()
+}
 
 type parser struct {
 	lex *lexer
@@ -199,6 +234,7 @@ func Parse(input string) (*Query, error) {
 	if len(q.Steps) == 0 {
 		return nil, p.lex.errf(0, "empty query")
 	}
+	q.structKey = structureKey(q)
 	return q, nil
 }
 

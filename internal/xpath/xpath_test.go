@@ -254,3 +254,50 @@ func TestPropertyEvalSubsetOfWalk(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCacheSharesParsedQueries(t *testing.T) {
+	c := NewCache(2)
+	q1, err := c.Get("//product/id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := c.Get("//product/id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 {
+		t.Fatal("cache did not share the parsed query")
+	}
+	if _, err := c.Get("][bad"); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+	// Overflow flushes rather than grows.
+	if _, err := c.Get("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("/b"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() > 2 {
+		t.Fatalf("cache exceeded its bound: %d", c.Len())
+	}
+}
+
+func TestStructureKeyIgnoresPredicateValues(t *testing.T) {
+	a := MustParse("//person[id='7']/name")
+	b := MustParse("//person[id='9']/name")
+	if a.StructureKey() != b.StructureKey() {
+		t.Fatalf("value-only difference changed the key: %q vs %q", a.StructureKey(), b.StructureKey())
+	}
+	c := MustParse("//person[age='7']/name")
+	if a.StructureKey() == c.StructureKey() {
+		t.Fatal("different predicate child collapsed into one key")
+	}
+	d := MustParse("//person/name")
+	if a.StructureKey() == d.StructureKey() {
+		t.Fatal("dropping the predicate did not change the key")
+	}
+	if MustParse("/a/b").StructureKey() == MustParse("/a//b").StructureKey() {
+		t.Fatal("axis ignored by the key")
+	}
+}

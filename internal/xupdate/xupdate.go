@@ -7,6 +7,7 @@ package xupdate
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dataguide"
 	"repro/internal/xmltree"
@@ -75,8 +76,8 @@ func (s *NodeSpec) Build(doc *xmltree.Document) (*xmltree.Node, error) {
 }
 
 // Update is one update operation against a document. Target paths are kept
-// as raw XPath text so the struct serialises cleanly through encoding/gob;
-// they are parsed on demand.
+// as raw XPath text so the struct serialises cleanly through encoding/gob
+// (the parsed forms are unexported and rebuilt on the receiving side).
 type Update struct {
 	Kind    Kind
 	Target  string      // XPath selecting the node(s) the operation applies to
@@ -86,18 +87,42 @@ type Update struct {
 	Value   string      // Change: new text value (or attribute value)
 	Attr    string      // Change: when set, change this attribute, not text
 	Target2 string      // Transpose: second path
+
+	// tq / t2q hold the immutable pre-parsed forms of Target / Target2,
+	// populated by Validate (or lazily on first use — a gob-decoded Update
+	// arrives without them). One Update fans out to several sites'
+	// schedulers concurrently, so the slots are atomic; xpath.Query is
+	// read-only after Parse, making the parsed value itself shareable.
+	tq  atomic.Pointer[xpath.Query]
+	t2q atomic.Pointer[xpath.Query]
 }
 
-// TargetQuery returns the parsed primary target path. Parsing is done per
-// call rather than cached: one Update value fans out to several sites, and
-// a cache would be a data race between their schedulers.
+// TargetQuery returns the parsed primary target path, parsing at most once
+// per Update (Validate pre-parses; later calls are a pointer load).
 func (u *Update) TargetQuery() (*xpath.Query, error) {
-	return xpath.Parse(u.Target)
+	return parseOnce(&u.tq, u.Target)
 }
 
 // Target2Query returns the parsed secondary path for Transpose.
 func (u *Update) Target2Query() (*xpath.Query, error) {
-	return xpath.Parse(u.Target2)
+	return parseOnce(&u.t2q, u.Target2)
+}
+
+// parseOnce returns the cached parse of raw, filling the slot on first use.
+// Two goroutines racing the first call both parse; CompareAndSwap keeps one
+// winner so every caller afterwards shares a single *xpath.Query.
+func parseOnce(slot *atomic.Pointer[xpath.Query], raw string) (*xpath.Query, error) {
+	if q := slot.Load(); q != nil {
+		return q, nil
+	}
+	q, err := xpath.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	if !slot.CompareAndSwap(nil, q) {
+		return slot.Load(), nil
+	}
+	return q, nil
 }
 
 // String renders the update in the update-language surface syntax.

@@ -365,3 +365,30 @@ func TestStringForms(t *testing.T) {
 		}
 	}
 }
+
+func TestTargetQueryParsedOnce(t *testing.T) {
+	u := &Update{Kind: Transpose, Target: "/p/a", Target2: "/p/b"}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q1, err := u.TargetQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := u.TargetQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 {
+		t.Fatal("TargetQuery re-parsed after Validate")
+	}
+	s1, _ := u.Target2Query()
+	s2, _ := u.Target2Query()
+	if s1 != s2 {
+		t.Fatal("Target2Query re-parsed after Validate")
+	}
+	bad := &Update{Kind: Remove, Target: "]["}
+	if _, err := bad.TargetQuery(); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+}
