@@ -10,6 +10,11 @@
 //	    -op "remove d1 //person[id='9']" \
 //	    -op "rename d1 //person[id='4']/name label" \
 //	    -op "transpose d2 //product[1] //product[2]"
+//
+// Operator commands (instead of -op):
+//
+//	dtxctl -addr localhost:7070 -status    # documents, liveness view, in-doubt txns
+//	dtxctl -addr localhost:7070 -recover   # drain + resolve in-doubt txns online
 package main
 
 import (
@@ -37,6 +42,8 @@ func (s *stringList) Set(v string) error {
 func main() {
 	addr := flag.String("addr", "localhost:7070", "dtxd site address")
 	timeout := flag.Duration("timeout", 0, "overall transaction timeout (0 = none); on expiry the transaction is aborted and its locks released")
+	status := flag.Bool("status", false, "print the site's status (documents, liveness view, in-doubt transactions) and exit")
+	recoverPass := flag.Bool("recover", false, "run an online recovery pass on the site (drain + resolve journal in-doubt transactions) and exit")
 	var opSpecs stringList
 	flag.Var(&opSpecs, "op", "operation (repeatable): query|insert|remove|rename|change|transpose ...")
 	flag.Parse()
@@ -48,8 +55,8 @@ func main() {
 		defer cancel()
 	}
 
-	if len(opSpecs) == 0 {
-		fatal(fmt.Errorf("no operations; use -op (see -h)"))
+	if !*status && !*recoverPass && len(opSpecs) == 0 {
+		fatal(fmt.Errorf("no operations; use -op, -status or -recover (see -h)"))
 	}
 	var ops []txn.Operation
 	for _, spec := range opSpecs {
@@ -71,6 +78,15 @@ func main() {
 	}
 	defer node.Close()
 	node.SetPeer(0, *addr)
+
+	if *status {
+		printStatus(ctx, node)
+		return
+	}
+	if *recoverPass {
+		runRecover(ctx, node)
+		return
+	}
 
 	resp, err := node.Send(ctx, 0, transport.SubmitReq{Ops: ops})
 	if err != nil {
@@ -102,6 +118,54 @@ func main() {
 	if sub.State != "committed" {
 		os.Exit(2)
 	}
+}
+
+// printStatus renders the site's SiteStatusResp.
+func printStatus(ctx context.Context, node *transport.TCPNode) {
+	resp, err := node.Send(ctx, 0, transport.SiteStatusReq{})
+	if err != nil {
+		fatal(err)
+	}
+	st, ok := resp.(transport.SiteStatusResp)
+	if !ok {
+		fatal(fmt.Errorf("unexpected response %T", resp))
+	}
+	state := "serving"
+	if !st.Ready {
+		state = "recovering"
+	}
+	fmt.Printf("site %d: %s\n", st.Site, state)
+	fmt.Printf("txns: %d committed, %d aborted, %d failed\n", st.Committed, st.Aborted, st.Failed)
+	fmt.Printf("documents (%d): %s\n", len(st.Documents), strings.Join(st.Documents, ", "))
+	for _, p := range st.Peers {
+		fmt.Printf("peer %d: %s\n", p.Site, p.Status)
+	}
+	if len(st.InDoubt) == 0 {
+		fmt.Println("in-doubt: none")
+		return
+	}
+	for _, d := range st.InDoubt {
+		fmt.Printf("in-doubt: %s (%s)\n", d.Txn, strings.Join(d.Docs, ", "))
+	}
+	// In-doubt transactions on a running site usually just mean persists in
+	// flight; `dtxctl -recover` drains and resolves whatever remains.
+	os.Exit(4)
+}
+
+// runRecover triggers an online recovery pass and prints its report.
+func runRecover(ctx context.Context, node *transport.TCPNode) {
+	resp, err := node.Send(ctx, 0, transport.RecoverReq{})
+	if err != nil {
+		fatal(err)
+	}
+	rec, ok := resp.(transport.RecoverResp)
+	if !ok {
+		fatal(fmt.Errorf("unexpected response %T", resp))
+	}
+	if rec.Error != "" {
+		fatal(fmt.Errorf("recover: %s", rec.Error))
+	}
+	fmt.Printf("recovery pass: %d resolved\n%s\n", rec.Resolved, rec.Report)
 }
 
 // parseOp turns "kind doc args..." into an operation.

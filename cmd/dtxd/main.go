@@ -10,6 +10,15 @@
 // Documents named with -doc are loaded from the store directory at startup;
 // -place entries teach the catalog where every document (local and remote)
 // lives. Clients submit transactions with dtxctl.
+//
+// Crash recovery: dtxd write-ahead logs local commits to <store>/commit.log
+// (disable with -journal=false). After a crash, restart with -recover: the
+// site comes up refusing traffic, replays the journal, resolves its
+// in-doubt transactions with the presumed-abort termination protocol
+// against its peers, re-fetches its documents from live replicas, and only
+// then starts serving — peers readmit it on their next heartbeat
+// (-heartbeat-ms). `dtxctl -status` and `dtxctl -recover` inspect and drive
+// the same machinery on a running site.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/lock"
+	"repro/internal/recovery"
 	"repro/internal/replica"
 	"repro/internal/sched"
 	"repro/internal/store"
@@ -44,6 +54,9 @@ func main() {
 	storeDir := flag.String("store", "./dtxdata", "document store directory")
 	protocol := flag.String("protocol", "xdgl", "locking protocol: xdgl | node2pl | doclock")
 	deadlockMs := flag.Int("deadlock-ms", 50, "distributed deadlock check period (ms)")
+	journalOn := flag.Bool("journal", true, "write-ahead log commits to <store>/commit.log")
+	recoverFlag := flag.Bool("recover", false, "start in crash-recovery mode: resolve journal in-doubt transactions and catch documents up from live replicas before serving")
+	heartbeatMs := flag.Int("heartbeat-ms", 500, "liveness heartbeat period (ms); 0 disables failure detection")
 	var peers, docs, places stringList
 	flag.Var(&peers, "peer", "peer site as id=host:port (repeatable)")
 	flag.Var(&docs, "doc", "document to load from the store at startup (repeatable)")
@@ -57,6 +70,13 @@ func main() {
 	st, err := store.NewFileStore(*storeDir)
 	if err != nil {
 		fatal(err)
+	}
+	var journal *store.Journal
+	if *journalOn {
+		journal, err = store.OpenJournal(*storeDir + "/commit.log")
+		if err != nil {
+			fatal(err)
+		}
 	}
 	catalog := replica.NewCatalog()
 	siteIDs := map[int]bool{*siteID: true}
@@ -86,32 +106,56 @@ func main() {
 	}
 
 	site := sched.New(sched.Config{
-		SiteID:           *siteID,
-		Sites:            allSites,
-		Protocol:         proto,
-		Catalog:          catalog,
-		Store:            st,
-		DeadlockInterval: time.Duration(*deadlockMs) * time.Millisecond,
+		SiteID:            *siteID,
+		Sites:             allSites,
+		Protocol:          proto,
+		Catalog:           catalog,
+		Store:             st,
+		Journal:           journal,
+		DeadlockInterval:  time.Duration(*deadlockMs) * time.Millisecond,
+		HeartbeatInterval: time.Duration(*heartbeatMs) * time.Millisecond,
+		Recovering:        *recoverFlag,
 	})
-	if len(docs) == 0 {
-		// No explicit -doc flags: recover everything the store holds.
-		if _, err := site.Bootstrap(); err != nil {
-			fatal(fmt.Errorf("bootstrap: %w", err))
+	if !*recoverFlag {
+		if len(docs) == 0 {
+			// No explicit -doc flags: recover everything the store holds.
+			if _, err := site.Bootstrap(); err != nil {
+				fatal(fmt.Errorf("bootstrap: %w", err))
+			}
+			for _, d := range site.Documents() {
+				fmt.Printf("dtxd: recovered document %s\n", d)
+			}
 		}
-		for _, d := range site.Documents() {
-			fmt.Printf("dtxd: recovered document %s\n", d)
+		for _, d := range docs {
+			if err := site.LoadDocument(d); err != nil {
+				fatal(fmt.Errorf("load %s: %w", d, err))
+			}
+			fmt.Printf("dtxd: loaded document %s\n", d)
 		}
 	}
-	for _, d := range docs {
-		if err := site.LoadDocument(d); err != nil {
-			fatal(fmt.Errorf("load %s: %w", d, err))
-		}
-		fmt.Printf("dtxd: loaded document %s\n", d)
+
+	// The site's handler is wrapped to serve the operator's RecoverReq
+	// (dtxctl -recover) at this level: internal/recovery orchestrates sched,
+	// so the scheduler itself cannot depend on it.
+	handler := func(h transport.Handler) transport.Handler {
+		return transport.HandlerFunc(func(from int, msg any) (any, error) {
+			if _, ok := msg.(transport.RecoverReq); ok {
+				report, err := recovery.Resolve(site, recovery.Options{})
+				if err != nil {
+					return transport.RecoverResp{Error: err.Error()}, nil
+				}
+				return transport.RecoverResp{
+					Resolved: len(report.Resolutions) + len(report.Decisions),
+					Report:   report.String(),
+				}, nil
+			}
+			return h.HandleMessage(from, msg)
+		})
 	}
 
 	var node *transport.TCPNode
 	err = site.Attach(func(h transport.Handler) (transport.Node, error) {
-		n, err := transport.ListenTCP(*siteID, *listen, h)
+		n, err := transport.ListenTCP(*siteID, *listen, handler(h))
 		if err != nil {
 			return nil, err
 		}
@@ -123,6 +167,26 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if *recoverFlag {
+		// Crash-recovery startup: bootstrap + journal replay + in-doubt
+		// resolution + replica catch-up, refusing traffic until done.
+		report, err := recovery.Restart(site, recovery.DefaultOptions)
+		if err != nil {
+			fatal(fmt.Errorf("recover: %w", err))
+		}
+		fmt.Printf("dtxd: recovered %s\n", report)
+		// Recovery bootstraps everything the store holds; -doc flags keep
+		// their contract of failing loudly when a named document is absent.
+		loaded := map[string]bool{}
+		for _, d := range site.Documents() {
+			loaded[d] = true
+		}
+		for _, d := range docs {
+			if !loaded[d] {
+				fatal(fmt.Errorf("recover: document %s not in the store", d))
+			}
+		}
 	}
 	fmt.Printf("dtxd: site %d serving on %s (protocol %s, %d peer(s))\n",
 		*siteID, node.Addr(), proto.Name(), len(peerAddrs))

@@ -26,8 +26,16 @@
 //
 // Cancelling the Begin context aborts the transaction and releases its locks
 // at every participant site. Failures are typed — ErrDeadlock, ErrAborted,
-// ErrUnknownDocument, ErrSiteOutOfRange, ErrTxnFailed, ErrTxnDone — and
-// compose with errors.Is; see errors.go for the taxonomy.
+// ErrUnknownDocument, ErrSiteOutOfRange, ErrTxnFailed, ErrTxnDone,
+// ErrReplicaUnavailable — and compose with errors.Is; see errors.go for the
+// taxonomy.
+//
+// The cluster survives site crashes: heartbeats feed a per-site liveness
+// view, reads route around dead replicas while writes touching them fail
+// fast with ErrReplicaUnavailable, and a crashed site (KillSite, or a real
+// fault under cmd/dtxd) restarts through internal/recovery — journal
+// replay, presumed-abort resolution of in-doubt transactions, document
+// catch-up from live replicas (RestartSite).
 //
 // Submit runs a whole operation list as one transaction (a convenience
 // wrapper over Begin/step/Commit), and SubmitWithRetry additionally
@@ -44,9 +52,11 @@ package dtx
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/lock"
+	"repro/internal/recovery"
 	"repro/internal/replica"
 	"repro/internal/sched"
 	"repro/internal/store"
@@ -94,14 +104,38 @@ type Config struct {
 	// behind it. Zero selects the default (2ms); negative flushes with no
 	// window. Close drains the pipeline.
 	PersistDelay time.Duration
+	// HeartbeatInterval is the period of the per-site liveness heartbeat
+	// feeding failure detection: a crashed site (KillSite, or a real fault
+	// in a TCP deployment) is detected, reads route to the surviving
+	// replicas of its documents and writes touching them fail fast with
+	// ErrReplicaUnavailable. Zero selects the default (100ms); negative
+	// disables failure detection.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is the consecutive heartbeat misses before a site is
+	// declared down (default 3).
+	HeartbeatMisses int
 }
 
 // Cluster is a running DTX deployment.
 type Cluster struct {
-	sites    []*sched.Site
+	cfg      Config
+	protocol lock.Protocol
 	network  *transport.Network
 	catalog  *replica.Catalog
-	journals []*store.Journal
+	ids      []int
+
+	// mu guards the per-site slots: KillSite/RestartSite swap a slot's
+	// site while clients keep submitting through the others. Each site
+	// owns its journal (opened in buildSite, closed by Stop/Kill). opMu
+	// serialises whole lifecycle operations (RestartSite, Close) against
+	// each other: two concurrent restarts of one slot would open two append
+	// handles on the same journal, and a restart racing Close would install
+	// a site Close never stops.
+	mu     sync.RWMutex
+	opMu   sync.Mutex
+	closed bool
+	sites  []*sched.Site
+	stores []store.Store
 }
 
 // New builds and starts a cluster.
@@ -114,6 +148,15 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.DeadlockCheckInterval <= 0 {
 		cfg.DeadlockCheckInterval = 10 * time.Millisecond
+	}
+	if cfg.HeartbeatInterval == 0 {
+		// Default failure detection, scaled to the synthetic latency so a
+		// deliberately slow network (the paper's WAN experiments) is not
+		// misread as a dead cluster.
+		cfg.HeartbeatInterval = 100 * time.Millisecond
+		if min := 4 * cfg.NetworkLatency; cfg.HeartbeatInterval < min {
+			cfg.HeartbeatInterval = min
+		}
 	}
 	proto, err := lock.ByName(string(cfg.Protocol))
 	if err != nil {
@@ -129,45 +172,89 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Journal && cfg.StoreDir == "" {
 		return nil, fmt.Errorf("dtx: Journal requires StoreDir")
 	}
-	c := &Cluster{network: net, catalog: catalog}
+	c := &Cluster{
+		cfg:      cfg,
+		protocol: proto,
+		network:  net,
+		catalog:  catalog,
+		ids:      ids,
+		stores:   make([]store.Store, cfg.Sites),
+		sites:    make([]*sched.Site, cfg.Sites),
+	}
 	for i := 0; i < cfg.Sites; i++ {
-		var st store.Store
-		var journal *store.Journal
 		if cfg.StoreDir != "" {
-			dir := fmt.Sprintf("%s/site%d", cfg.StoreDir, i)
-			fs, err := store.NewFileStore(dir)
+			fs, err := store.NewFileStore(c.siteDir(i))
 			if err != nil {
 				return nil, err
 			}
-			st = fs
-			if cfg.Journal {
-				j, err := store.OpenJournal(dir + "/commit.log")
-				if err != nil {
-					return nil, err
-				}
-				journal = j
-				c.journals = append(c.journals, j)
-			}
+			c.stores[i] = fs
 		} else {
-			st = store.NewMemStore()
+			c.stores[i] = store.NewMemStore()
 		}
-		site := sched.New(sched.Config{
-			SiteID:           i,
-			Sites:            ids,
-			Protocol:         proto,
-			Catalog:          catalog,
-			Store:            st,
-			DeadlockInterval: cfg.DeadlockCheckInterval,
-			OpDelay:          cfg.ClientThinkTime,
-			Journal:          journal,
-			PersistDelay:     cfg.PersistDelay,
-		})
-		if err := site.AttachNetwork(net); err != nil {
+		site, err := c.buildSite(i, false)
+		if err != nil {
 			return nil, err
 		}
-		c.sites = append(c.sites, site)
+		c.sites[i] = site
 	}
 	return c, nil
+}
+
+func (c *Cluster) siteDir(i int) string {
+	return fmt.Sprintf("%s/site%d", c.cfg.StoreDir, i)
+}
+
+// buildSite constructs and attaches one site over the slot's store —
+// shared by New and RestartSite (which passes recovering=true so the site
+// refuses traffic until internal/recovery readmits it).
+func (c *Cluster) buildSite(i int, recovering bool) (*sched.Site, error) {
+	var journal *store.Journal
+	if c.cfg.Journal {
+		j, err := store.OpenJournal(c.siteDir(i) + "/commit.log")
+		if err != nil {
+			return nil, err
+		}
+		journal = j
+	}
+	hb := c.cfg.HeartbeatInterval
+	if hb < 0 {
+		hb = 0
+	}
+	site := sched.New(sched.Config{
+		SiteID:            i,
+		Sites:             c.ids,
+		Protocol:          c.protocol,
+		Catalog:           c.catalog,
+		Store:             c.stores[i],
+		DeadlockInterval:  c.cfg.DeadlockCheckInterval,
+		OpDelay:           c.cfg.ClientThinkTime,
+		Journal:           journal,
+		PersistDelay:      c.cfg.PersistDelay,
+		HeartbeatInterval: hb,
+		HeartbeatMisses:   c.cfg.HeartbeatMisses,
+		Recovering:        recovering,
+	})
+	if err := site.AttachNetwork(c.network); err != nil {
+		if journal != nil {
+			journal.Close()
+		}
+		return nil, err
+	}
+	return site, nil
+}
+
+// site returns the current instance serving a slot.
+func (c *Cluster) site(i int) *sched.Site {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sites[i]
+}
+
+// allSites snapshots the current site instances.
+func (c *Cluster) allSites() []*sched.Site {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*sched.Site(nil), c.sites...)
 }
 
 // Sync blocks until every commit acknowledged before the call has been
@@ -175,19 +262,91 @@ func New(cfg Config) (*Cluster, error) {
 // record). Use it to observe the persistent state at a quiescent point
 // without stopping the cluster.
 func (c *Cluster) Sync() {
-	for _, s := range c.sites {
+	for _, s := range c.allSites() {
 		s.Sync()
 	}
 }
 
-// Close stops every site and closes any commit journals.
+// Close stops every site. Each site drains its persist pipeline and closes
+// its own journal only after the drain (a journal closed first could turn a
+// late covering write into a phantom in-doubt record).
 func (c *Cluster) Close() {
-	for _, s := range c.sites {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	c.closed = true
+	for _, s := range c.allSites() {
 		s.Stop()
 	}
-	for _, j := range c.journals {
-		j.Close()
+}
+
+// KillSite crashes a site abruptly, as a process or machine failure would:
+// no drain, no clean journal close, transport torn down mid-conversation.
+// The other sites' failure detectors notice within a few heartbeats; reads
+// on the dead site's documents keep flowing from surviving replicas, writes
+// touching them fail fast with ErrReplicaUnavailable, and RestartSite
+// brings the site back through crash recovery.
+func (c *Cluster) KillSite(site int) error {
+	if site < 0 || site >= len(c.ids) {
+		return fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.ids))
 	}
+	c.site(site).Kill()
+	return nil
+}
+
+// RecoveryReport summarises a RestartSite run: the documents recovered from
+// the store, how each in-doubt transaction was resolved, and which
+// documents were caught up from live replicas.
+type RecoveryReport = recovery.Report
+
+// RestartSite rebuilds a killed site through the crash-recovery subsystem:
+// documents reload from the site's store, the journal replays, in-doubt
+// transactions are resolved with the presumed-abort termination protocol
+// (coordinator decision records first, surviving participants second),
+// documents catch up from live replicas, and the site rejoins — peers
+// readmit it on their next heartbeat.
+func (c *Cluster) RestartSite(site int) (*RecoveryReport, error) {
+	if site < 0 || site >= len(c.ids) {
+		return nil, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.ids))
+	}
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("dtx: cluster is closed")
+	}
+	old := c.site(site)
+	if !old.Killed() {
+		return nil, fmt.Errorf("dtx: site %d is not killed; stop it with KillSite first", site)
+	}
+	// The dead instance shares its Store with the replacement: wait out any
+	// persist worker caught mid write, or its Save could land over the
+	// caught-up documents.
+	old.Quiesce()
+	fresh, err := c.buildSite(site, true)
+	if err != nil {
+		return nil, err
+	}
+	report, err := recovery.Restart(fresh, recovery.DefaultOptions)
+	if err != nil {
+		fresh.Stop()
+		return nil, err
+	}
+	c.mu.Lock()
+	c.sites[site] = fresh
+	c.mu.Unlock()
+	return report, nil
+}
+
+// PeerStatuses reports a site's liveness view of the other sites, keyed by
+// site id with values "up", "suspect" or "down".
+func (c *Cluster) PeerStatuses(site int) (map[int]string, error) {
+	if site < 0 || site >= len(c.ids) {
+		return nil, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.ids))
+	}
+	out := make(map[int]string)
+	for _, p := range c.site(site).PeerStates() {
+		out[p.Site] = p.Status
+	}
+	return out, nil
 }
 
 // InDoubt re-exports the journal recovery record.
@@ -200,21 +359,21 @@ func RecoverJournal(storeDir string, site int) ([]InDoubt, error) {
 }
 
 // Sites returns the number of sites.
-func (c *Cluster) Sites() int { return len(c.sites) }
+func (c *Cluster) Sites() int { return len(c.ids) }
 
 // LoadXML parses the XML text and installs the document. With no explicit
 // sites the document is totally replicated (a copy at every site);
 // otherwise it is placed at exactly the given sites.
 func (c *Cluster) LoadXML(name, xml string, sites ...int) error {
 	if len(sites) == 0 {
-		sites = make([]int, len(c.sites))
+		sites = make([]int, len(c.ids))
 		for i := range sites {
 			sites[i] = i
 		}
 	}
 	for _, sid := range sites {
-		if sid < 0 || sid >= len(c.sites) {
-			return fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, sid, len(c.sites))
+		if sid < 0 || sid >= len(c.ids) {
+			return fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, sid, len(c.ids))
 		}
 	}
 	// Parse once, deep-clone per replica site: re-parsing the same text at
@@ -228,7 +387,7 @@ func (c *Cluster) LoadXML(name, xml string, sites ...int) error {
 		if i < len(sites)-1 {
 			replicaDoc = doc.Clone()
 		}
-		if err := c.sites[sid].AddDocument(replicaDoc); err != nil {
+		if err := c.site(sid).AddDocument(replicaDoc); err != nil {
 			return err
 		}
 	}
@@ -243,13 +402,13 @@ func (c *Cluster) LoadXMLPartial(name, xml string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	frags, err := replica.FragmentDocument(doc, len(c.sites))
+	frags, err := replica.FragmentDocument(doc, len(c.ids))
 	if err != nil {
 		return nil, err
 	}
 	var names []string
 	for i, f := range frags {
-		if err := c.sites[i].AddDocument(f.Doc); err != nil {
+		if err := c.site(i).AddDocument(f.Doc); err != nil {
 			return nil, err
 		}
 		names = append(names, f.Doc.Name)
@@ -266,10 +425,10 @@ func (c *Cluster) SitesOf(doc string) []int { return c.catalog.Sites(doc) }
 // DocumentXML returns the current serialized form of the document as held
 // in memory at the given site.
 func (c *Cluster) DocumentXML(site int, name string) (string, error) {
-	if site < 0 || site >= len(c.sites) {
-		return "", fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.sites))
+	if site < 0 || site >= len(c.ids) {
+		return "", fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.ids))
 	}
-	doc, err := c.sites[site].Document(name)
+	doc, err := c.site(site).Document(name)
 	if err != nil {
 		return "", fmt.Errorf("%w: %q at site %d", ErrUnknownDocument, name, site)
 	}
@@ -281,19 +440,19 @@ type Stats = sched.Stats
 
 // SiteStats returns the counters of one site.
 func (c *Cluster) SiteStats(site int) (Stats, error) {
-	if site < 0 || site >= len(c.sites) {
-		return Stats{}, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.sites))
+	if site < 0 || site >= len(c.ids) {
+		return Stats{}, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.ids))
 	}
-	return c.sites[site].Stats(), nil
+	return c.site(site).Stats(), nil
 }
 
 // CheckDeadlocks runs one distributed deadlock-detection sweep from the
 // given site (Algorithm 4) in addition to the periodic background checks.
 func (c *Cluster) CheckDeadlocks(site int) (bool, error) {
-	if site < 0 || site >= len(c.sites) {
-		return false, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.sites))
+	if site < 0 || site >= len(c.ids) {
+		return false, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.ids))
 	}
-	return c.sites[site].CheckDeadlocks(), nil
+	return c.site(site).CheckDeadlocks(), nil
 }
 
 // Position places an inserted node relative to its target.
@@ -419,14 +578,14 @@ func (c *Cluster) Submit(site int, ops ...Op) (*Result, error) {
 // SubmitCtx is Submit bound to a context: cancellation aborts the
 // transaction and releases its locks at every participant site.
 func (c *Cluster) SubmitCtx(ctx context.Context, site int, ops ...Op) (*Result, error) {
-	if site < 0 || site >= len(c.sites) {
-		return nil, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.sites))
+	if site < 0 || site >= len(c.ids) {
+		return nil, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.ids))
 	}
 	inner := make([]txn.Operation, len(ops))
 	for i, op := range ops {
 		inner[i] = op.inner
 	}
-	res, err := c.sites[site].SubmitCtx(ctx, inner)
+	res, err := c.site(site).SubmitCtx(ctx, inner)
 	if err != nil {
 		return nil, err
 	}

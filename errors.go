@@ -38,4 +38,12 @@ var (
 	// ErrTxnDone: a step or commit arrived after the transaction already
 	// reached a terminal state.
 	ErrTxnDone = txn.ErrTxnDone
+	// ErrReplicaUnavailable: the operation needed a replica at a site that
+	// is down or suspected down. Reads route around dead replicas
+	// automatically, so this surfaces when no replica of a document is
+	// believed alive, or when a write would touch a partially-down replica
+	// set — writes must reach every copy, so they fail fast instead of
+	// queueing behind a dead site. Retry once the site is restarted
+	// (RestartSite) or the failure detector readmits it.
+	ErrReplicaUnavailable = txn.ErrReplicaUnavailable
 )

@@ -266,3 +266,38 @@ func TestRunWithGuardAblationProtocol(t *testing.T) {
 		t.Fatal("nothing committed under xdgl-noguard")
 	}
 }
+
+// TestCrashInjectionWorkload: a chaos run — a replica dies mid-persist
+// under the auction workload; the run completes, the survivors keep
+// committing, and the victim is verifiably dead.
+func TestCrashInjectionWorkload(t *testing.T) {
+	p := Params{
+		Sites:       3,
+		Clients:     6,
+		TxPerClient: 8,
+		UpdateTxPct: 100,
+		BaseBytes:   32 << 10,
+		Heartbeat:   5 * time.Millisecond,
+		Crash:       &CrashSpec{Site: 1, Stage: CrashMidPersist},
+		Seed:        11,
+	}
+	cluster, err := BuildCluster(p.withDefaults(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	res := RunOn(context.Background(), cluster, p)
+	if !cluster.Sites[1].Killed() {
+		t.Fatal("crash spec never fired")
+	}
+	if res.Committed == 0 {
+		t.Fatalf("no transaction committed around the crash: %+v", res)
+	}
+	// With total replication every post-crash write needs the dead site, so
+	// the blast radius shows up as failed transactions — reads and
+	// pre-crash writes account for the commits.
+	if res.Committed+res.Aborted+res.Failed != res.Total {
+		t.Fatalf("lost transactions: %+v", res)
+	}
+}

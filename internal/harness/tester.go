@@ -4,13 +4,17 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lock"
 	"repro/internal/replica"
 	"repro/internal/sched"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/xmark"
@@ -60,6 +64,47 @@ type Params struct {
 	// VictimOldest flips the deadlock victim rule to oldest-in-cycle (the
 	// paper's rule is newest); an ablation knob.
 	VictimOldest bool
+	// Heartbeat enables failure detection with the given period (zero
+	// disables it, the default). Required for Crash runs: it is what lets
+	// the surviving sites detect the kill, resolve the victim's orphaned
+	// transactions and route reads around it.
+	Heartbeat time.Duration
+	// Crash injects a crash-point fault: the chosen 2PC stage's Nth firing
+	// at the chosen site kills that site abruptly mid-run (sched.CrashHooks
+	// wired by BuildCluster). The workload keeps running against the
+	// survivors; the run's Result then reflects the failure blast radius —
+	// the class of chaos scenario the throughput benchmarks cannot reach.
+	Crash *CrashSpec
+}
+
+// CrashStage names a 2PC stage boundary a CrashSpec can target.
+type CrashStage string
+
+// Crash stages, in protocol order.
+const (
+	// CrashBeforeDecision kills a coordinator after its transaction
+	// executed everywhere, before the commit decision record.
+	CrashBeforeDecision CrashStage = "before-decision"
+	// CrashAfterDecision kills a coordinator between its durable decision
+	// record and the commit fan-out.
+	CrashAfterDecision CrashStage = "after-decision"
+	// CrashBeforeIntent kills a participant as a consolidation request
+	// arrives, before its journal intent record.
+	CrashBeforeIntent CrashStage = "before-intent"
+	// CrashAfterIntent kills a participant between its durable intent
+	// record and the persist pipeline.
+	CrashAfterIntent CrashStage = "after-intent"
+	// CrashMidPersist kills a site between a commit acknowledgement and the
+	// covering Store write.
+	CrashMidPersist CrashStage = "mid-persist"
+)
+
+// CrashSpec selects a crash point: the (After+1)th firing of Stage at Site
+// kills the site.
+type CrashSpec struct {
+	Site  int
+	Stage CrashStage
+	After int
 }
 
 func (p Params) withDefaults() Params {
@@ -133,12 +178,19 @@ type Cluster struct {
 	Network *transport.Network
 	Docs    []DocInfo // documents clients may target
 	catalog *replica.Catalog
+
+	// Crash-run scratch state: the victim's throwaway journal directory,
+	// removed on Stop (the journal itself is closed by its site).
+	journalDir string
 }
 
 // Stop shuts the cluster down.
 func (c *Cluster) Stop() {
 	for _, s := range c.Sites {
 		s.Stop()
+	}
+	if c.journalDir != "" {
+		os.RemoveAll(c.journalDir)
 	}
 }
 
@@ -159,20 +211,40 @@ func BuildCluster(p Params, hook sched.HistoryHook) (*Cluster, error) {
 		ids[i] = i
 	}
 	sites := make([]*sched.Site, p.Sites)
+	cluster := &Cluster{Sites: sites, Network: net, catalog: catalog}
+	var crashHooks *sched.CrashHooks
+	if p.Crash != nil {
+		crashHooks = &sched.CrashHooks{}
+	}
 	for i := range sites {
-		sites[i] = sched.New(sched.Config{
-			SiteID:           i,
-			Sites:            ids,
-			Protocol:         proto,
-			Catalog:          catalog,
-			DeadlockInterval: p.DeadlockInterval,
-			OpDelay:          p.OpDelay,
-			History:          hook,
-			VictimOldest:     p.VictimOldest,
-		})
+		cfg := sched.Config{
+			SiteID:            i,
+			Sites:             ids,
+			Protocol:          proto,
+			Catalog:           catalog,
+			DeadlockInterval:  p.DeadlockInterval,
+			OpDelay:           p.OpDelay,
+			History:           hook,
+			VictimOldest:      p.VictimOldest,
+			HeartbeatInterval: p.Heartbeat,
+			HeartbeatMisses:   2,
+		}
+		if p.Crash != nil && i == p.Crash.Site {
+			journal, dir, err := journalFor(p, i)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Journal = journal
+			cluster.journalDir = dir
+			cfg.Hooks = crashHooks
+		}
+		sites[i] = sched.New(cfg)
 		if err := sites[i].AttachNetwork(net); err != nil {
 			return nil, err
 		}
+	}
+	if p.Crash != nil {
+		armCrash(p.Crash, crashHooks, sites)
 	}
 
 	bases := make([]*xmltree.Document, p.Docs)
@@ -208,7 +280,54 @@ func BuildCluster(p Params, hook sched.HistoryHook) (*Cluster, error) {
 			docs = append(docs, DocInfo{Name: base.Name, Sections: xmark.Sections(base)})
 		}
 	}
-	return &Cluster{Sites: sites, Network: net, Docs: docs, catalog: catalog}, nil
+	cluster.Docs = docs
+	return cluster, nil
+}
+
+// journalFor opens a throwaway journal for the crash victim when the
+// targeted stage is a journal-record boundary — the intent hooks only exist
+// on the journaled commit path. The directory is removed by Cluster.Stop.
+func journalFor(p Params, site int) (*store.Journal, string, error) {
+	if p.Crash.Stage != CrashBeforeIntent && p.Crash.Stage != CrashAfterIntent {
+		return nil, "", nil
+	}
+	dir, err := os.MkdirTemp("", "dtx-crash")
+	if err != nil {
+		return nil, "", fmt.Errorf("harness: crash journal: %w", err)
+	}
+	j, err := store.OpenJournal(filepath.Join(dir, fmt.Sprintf("site%d.log", site)))
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, "", fmt.Errorf("harness: crash journal: %w", err)
+	}
+	return j, dir, nil
+}
+
+// armCrash installs the kill closure for the configured stage: the
+// (After+1)th firing at the victim site crashes it.
+func armCrash(spec *CrashSpec, hooks *sched.CrashHooks, sites []*sched.Site) {
+	if spec.Site < 0 || spec.Site >= len(sites) {
+		return
+	}
+	victim := sites[spec.Site]
+	var n int64
+	fire := func() {
+		if atomic.AddInt64(&n, 1) == int64(spec.After)+1 {
+			victim.Kill()
+		}
+	}
+	switch spec.Stage {
+	case CrashBeforeDecision:
+		hooks.BeforeDecision = func(txn.ID) { fire() }
+	case CrashAfterDecision:
+		hooks.AfterDecision = func(txn.ID) { fire() }
+	case CrashBeforeIntent:
+		hooks.BeforeIntent = func(txn.ID, []string) { fire() }
+	case CrashAfterIntent:
+		hooks.AfterIntent = func(txn.ID, []string) { fire() }
+	case CrashMidPersist:
+		hooks.BeforeSave = func(string) { fire() }
+	}
 }
 
 // Run executes the DTXTester workload against a fresh cluster and collects
@@ -235,7 +354,21 @@ func RunCtx(ctx context.Context, p Params) (*Result, error) {
 		return nil, err
 	}
 	defer cluster.Stop()
+	res := RunOn(ctx, cluster, p)
+	if hook != nil {
+		if err := hook.CheckSerializable(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
 
+// RunOn drives the workload clients against an existing cluster and
+// aggregates metrics. RunCtx composes it with BuildCluster; chaos tests
+// call it directly, keeping the cluster handle so they can inspect (or
+// kill) individual sites around the run.
+func RunOn(ctx context.Context, cluster *Cluster, p Params) *Result {
+	p = p.withDefaults()
 	res := &Result{Params: p, Total: p.Clients * p.TxPerClient}
 	var latencies []time.Duration
 	var mu sync.Mutex
@@ -290,12 +423,7 @@ func RunCtx(ctx context.Context, p Params) (*Result, error) {
 	}
 	sort.Slice(res.CommitTimes, func(i, j int) bool { return res.CommitTimes[i] < res.CommitTimes[j] })
 	res.P95RespMs = p95(latencies)
-	if hook != nil {
-		if err := hook.CheckSerializable(); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
+	return res
 }
 
 // p95 returns the 95th-percentile latency in milliseconds.

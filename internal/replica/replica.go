@@ -82,6 +82,27 @@ func (c *Catalog) DocumentsAt(site int) []string {
 	return out
 }
 
+// Liveness reports whether a site is currently believed alive — the view a
+// failure detector maintains. The catalog itself is placement only; pairing
+// it with a Liveness yields availability-aware routing.
+type Liveness interface {
+	Alive(site int) bool
+}
+
+// LiveSites splits the document's replica sites by the liveness view: live
+// sites can serve reads now, down sites make the replica set partial (a
+// write must reach every copy, so any down member fails writes fast).
+func (c *Catalog) LiveSites(doc string, lv Liveness) (live, down []int) {
+	for _, s := range c.Sites(doc) {
+		if lv == nil || lv.Alive(s) {
+			live = append(live, s)
+		} else {
+			down = append(down, s)
+		}
+	}
+	return live, down
+}
+
 // Holds reports whether the site has a replica of the document.
 func (c *Catalog) Holds(doc string, site int) bool {
 	c.mu.RLock()

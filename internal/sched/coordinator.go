@@ -144,9 +144,20 @@ func (s *Site) execOp(ctx context.Context, ct *coordTxn, opIdx int) error {
 			return fmt.Errorf("%w: %w", txn.ErrAborted, context.Cause(ctx))
 		}
 
-		sites := s.cfg.Catalog.Sites(op.Doc)
-		if len(sites) == 0 {
+		// Replica-aware routing: reads run on the replicas believed alive
+		// and route around dead ones; writes must reach every copy, so a
+		// partially-down replica set fails them fast with a typed error the
+		// client can branch on (retry later, degrade, alert) instead of a
+		// lock-timeout limbo.
+		sites, down := s.cfg.Catalog.LiveSites(op.Doc, s.liveness)
+		if len(sites) == 0 && len(down) == 0 {
 			return fmt.Errorf("%w: no site holds %q", txn.ErrUnknownDocument, op.Doc)
+		}
+		if op.Kind != txn.OpQuery && len(down) > 0 {
+			return fmt.Errorf("%w: %q has down replica site(s) %v", txn.ErrReplicaUnavailable, op.Doc, down)
+		}
+		if len(sites) == 0 {
+			return fmt.Errorf("%w: no live replica of %q", txn.ErrReplicaUnavailable, op.Doc)
 		}
 
 		var res localResult
@@ -163,6 +174,10 @@ func (s *Site) execOp(ctx context.Context, ct *coordTxn, opIdx int) error {
 		}
 
 		switch {
+		case res.retryRouting:
+			// A replica died mid-read; re-route immediately against the
+			// survivors (the loop re-filters the replica set by liveness).
+			continue
 		case res.failed:
 			msg := res.err
 			if msg == "" {
@@ -325,6 +340,41 @@ func (s *Site) execRemote(ctx context.Context, ct *coordTxn, opIdx int, op txn.O
 	}
 	merged.executed = merged.acquired && !merged.failed && !merged.deadlock && anyExecuted
 
+	// Failover: a replica whose connection tore down mid-exchange has
+	// already been demoted to Suspect by send; one that answered "replica
+	// unavailable" (it is recovering, or was killed under this very
+	// exchange) is demoted here — it responded, so send counted it Up. A
+	// read rolls its partial execution back and retries against the
+	// survivors (the routing loop re-filters by liveness); a write cannot
+	// proceed with a partial replica set and fails with the typed replica
+	// error.
+	var closed []int
+	for _, sr := range results {
+		switch {
+		case sr.err != nil && errors.Is(sr.err, transport.ErrPeerClosed):
+			closed = append(closed, sr.site)
+		case sr.err == nil && sr.res.failed && sr.res.code == txn.CodeReplicaUnavailable && sr.site != s.id:
+			s.liveness.observeClosed(sr.site)
+			closed = append(closed, sr.site)
+		}
+	}
+	if len(closed) > 0 && ctx.Err() == nil && !merged.deadlock {
+		// Re-routing is only productive when failure detection will actually
+		// remove the dead replica from the next routing pass; with the
+		// liveness view inert (no heartbeats) the retry would re-select the
+		// same dead site forever, so the typed error surfaces instead.
+		if op.Kind == txn.OpQuery && s.liveness.enabled {
+			for _, sr := range results {
+				if sr.err == nil && sr.res.executed {
+					s.undoOpEverywhere(id, opIdx, sr.site)
+				}
+			}
+			return localResult{retryRouting: true}
+		}
+		merged.failed = true
+		merged.code = txn.CodeReplicaUnavailable
+	}
+
 	// Algorithm 1, l. 15–17: if the operation did not acquire locks at some
 	// participant, undo it wherever it did execute, then wait.
 	if !merged.failed && !merged.deadlock && !merged.acquired {
@@ -395,28 +445,121 @@ func fanOut(sites []int, fn func(site int) bool) ([]bool, bool) {
 func (s *Site) commitTransaction(ct *coordTxn) bool {
 	id := ct.t.ID
 	remote := ct.remoteSites(s.id)
+	// A read-only transaction has no persistent effects anywhere: its
+	// consolidation is pure lock release, so it needs no decision record,
+	// and a participant that died holding its read locks released them with
+	// its life — a failed remote ack is vacuous, not a failure. The same
+	// tolerance applies per participant in a mixed transaction: a site that
+	// only served reads (no update targets a document it replicates) has
+	// nothing to consolidate, so its death must not fail a commit whose
+	// writes all reached live replicas. writeSites is computed lazily — it
+	// is only consulted when a peer connection tore down mid-commit, and
+	// the healthy hot path must not pay its catalog lookups per commit.
+	readOnly := true
+	for i := range ct.t.Ops {
+		if ct.t.Ops[i].Kind != txn.OpQuery {
+			readOnly = false
+			break
+		}
+	}
+	writeSites := sync.OnceValue(func() map[int]bool {
+		out := make(map[int]bool)
+		for i := range ct.t.Ops {
+			if ct.t.Ops[i].Kind == txn.OpQuery {
+				continue
+			}
+			for _, site := range s.cfg.Catalog.Sites(ct.t.Ops[i].Doc) {
+				out[site] = true
+			}
+		}
+		return out
+	})
+	if hooks := s.cfg.Hooks; hooks != nil && hooks.BeforeDecision != nil {
+		hooks.BeforeDecision(id)
+	}
+	// Commit decision record, durable BEFORE any participant may
+	// consolidate: the presumed-abort rule ("no decision record at the
+	// coordinator means abort") is only sound under that order. A site
+	// without a journal keeps the pre-recovery semantics (participants fall
+	// back to each other when this coordinator crashes). With no remote
+	// participants there is nobody the record could ever answer — and an
+	// in-doubt local intent proves the commit by itself — so the local-only
+	// commit path skips the extra fsync.
+	if s.cfg.Journal != nil && !readOnly && len(remote) > 0 {
+		if err := s.cfg.Journal.LogDecision(id.String()); err != nil {
+			// The decision cannot be made durable (journal failure, or the
+			// site is dying): do not commit anybody.
+			s.abortTransaction(ct)
+			return false
+		}
+	}
+	if hooks := s.cfg.Hooks; hooks != nil && hooks.AfterDecision != nil {
+		hooks.AfterDecision(id)
+	}
 	var oks []bool
 	allOK := true
+	var ackMu sync.Mutex
+	vacuous := make(map[int]bool) // dead read-only participants: ok but consolidated nothing
+	maybeConsolidated := false    // a write participant's ack was lost with its connection
 	if len(remote) > 0 {
 		oks, allOK = fanOut(remote, func(site int) bool {
 			resp, err := s.send(context.Background(), site, transport.CommitReq{Txn: id})
+			if err != nil && errors.Is(err, transport.ErrPeerClosed) {
+				ackMu.Lock()
+				defer ackMu.Unlock()
+				if !writeSites()[site] {
+					// The participant held only read locks for this
+					// transaction and is gone — the locks died with it;
+					// nothing to consolidate there. Counts as ok for the
+					// join but never as a consolidation.
+					vacuous[site] = true
+					return true
+				}
+				// A write participant whose connection tore down
+				// mid-exchange: ErrPeerClosed cannot distinguish "never
+				// delivered" from "processed, ack lost", and the
+				// participant may hold a durable consolidation. The commit
+				// must NOT be rolled back on that uncertainty (a clean
+				// abort would diverge from the maybe-consolidated replica
+				// and void the decision record that reconciles it).
+				maybeConsolidated = true
+				return false
+			}
 			ack, _ := resp.(transport.Ack)
 			return err == nil && ack.OK
 		})
 	}
 	// Algorithm 5, l. 10–11: persist locally and release the locks.
 	if allOK && s.commitLocal(id) == nil {
+		if s.cfg.Journal != nil && !readOnly {
+			// A transaction that persisted nothing at this site has no local
+			// commit record coming; seal the decision so it does not linger
+			// as unresolved across restarts.
+			_ = s.cfg.Journal.SealDecision(id.String())
+		}
 		return true
 	}
-	// Algorithm 5, l. 5–7: commit rejected.
-	anyConsolidated := false
-	for _, ok := range oks {
-		anyConsolidated = anyConsolidated || ok
+	// Algorithm 5, l. 5–7: commit rejected. A vacuous ok (dead read-only
+	// participant) is not a consolidation; a lost ack from a write
+	// participant must be presumed one.
+	anyConsolidated := maybeConsolidated
+	for i, ok := range oks {
+		if ok && !vacuous[remote[i]] {
+			anyConsolidated = true
+		}
 	}
 	if anyConsolidated {
+		// Some participant holds the consolidated state: the decision record
+		// stays, truthfully — recovery reconciles against the survivors.
 		s.failTransaction(ct)
 	} else {
+		// Nobody consolidated: roll back cleanly and void the decision so
+		// the undelivered commit cannot resurface at a recovering
+		// participant.
 		s.abortTransaction(ct)
+		if s.cfg.Journal != nil {
+			_ = s.cfg.Journal.VoidDecision(id.String())
+		}
 	}
 	return false
 }

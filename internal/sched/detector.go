@@ -48,7 +48,10 @@ func (s *Site) CheckDeadlocks() bool {
 	remote := make([][]wfg.Edge, len(s.cfg.Sites))
 	var wg sync.WaitGroup
 	for i, site := range s.cfg.Sites {
-		if site == s.id {
+		if site == s.id || !s.liveness.Alive(site) {
+			// A down or suspected site contributes no edges — its lock
+			// managers are gone with it; wasting a poll on it only slows
+			// the sweep.
 			continue
 		}
 		wg.Add(1)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lock"
 	"repro/internal/transport"
@@ -26,6 +27,10 @@ type localResult struct {
 	err       string
 	results   []string
 	conflicts []lock.Conflict
+	// retryRouting asks the coordinator loop to re-route the operation: a
+	// replica's connection tore down mid-exchange (now marked Suspect) and
+	// the read can run again against the survivors.
+	retryRouting bool
 }
 
 // handleExecOp processes one remote operation shipped by a coordinator —
@@ -89,6 +94,7 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 			id:          id,
 			ts:          ts,
 			coordinator: coordinator,
+			created:     time.Now(),
 			undo:        make(map[int][]undoEntry),
 			docs:        make(map[string]bool),
 		}
@@ -336,20 +342,27 @@ func (s *Site) notifyWaiters(targets map[txn.ID]int) {
 	}
 }
 
-// tombstone marks a transaction terminated and unregisters its participant
-// state, returning the record. Marking BEFORE releasing any lock or undoing
-// any effect is what closes the race with a stale in-flight operation: the
-// operation re-checks the tombstone under the document mutex before
-// granting, so it either grants before the cleanup's release (which then
-// observes and frees the grant) or refuses.
-func (s *Site) tombstone(id txn.ID) *partTxn {
+// tombstone marks a transaction terminated with its outcome and unregisters
+// its participant state, returning the record. Marking BEFORE releasing any
+// lock or undoing any effect is what closes the race with a stale in-flight
+// operation: the operation re-checks the tombstone under the document mutex
+// before granting, so it either grants before the cleanup's release (which
+// then observes and frees the grant) or refuses.
+//
+// The first outcome recorded wins; won reports whether THIS call recorded
+// it, and prevCommitted the outcome that beat it otherwise — the atomic
+// decision point between a consolidation and a concurrent local resolution
+// (orphan abort) of the same transaction.
+func (s *Site) tombstone(id txn.ID, committed bool) (pt *partTxn, won bool, prevCommitted bool) {
 	s.mu.Lock()
-	pt := s.part[id]
-	s.markFinishedLocked(id)
+	pt = s.part[id]
+	prevCommitted, terminated := s.finished[id]
+	won = !terminated
+	s.markFinishedLocked(id, committed)
 	delete(s.part, id)
 	delete(s.coordOf, id)
 	s.mu.Unlock()
-	return pt
+	return pt, won, prevCommitted
 }
 
 // commitLocal consolidates a transaction at this site: hand its documents
@@ -367,7 +380,23 @@ func (s *Site) tombstone(id txn.ID) *partTxn {
 func (s *Site) commitLocal(id txn.ID) error {
 	s.mu.Lock()
 	pt := s.part[id]
+	committed, terminated := s.finished[id]
 	s.mu.Unlock()
+	if terminated {
+		// A consolidation request outrun by this site's own resolution of
+		// the transaction (e.g. an orphan abort after a false suspicion of
+		// the coordinator): re-committing is a no-op, but consolidating a
+		// transaction this site already rolled back must be refused, or the
+		// coordinator would report commit over diverged replicas.
+		if committed {
+			return nil
+		}
+		return fmt.Errorf("sched: site %d: %s already aborted here", s.id, id)
+	}
+	if !s.enterCommit() {
+		return fmt.Errorf("sched: site %d is stopping", s.id)
+	}
+	defer s.exitCommit()
 
 	// Collect the documents with unpersisted changes and refuse if any of
 	// them has a latched background persist failure.
@@ -402,8 +431,14 @@ func (s *Site) commitLocal(id txn.ID) error {
 		for i, ds := range toPersist {
 			docs[i] = ds.doc.Name
 		}
+		if hooks := s.cfg.Hooks; hooks != nil && hooks.BeforeIntent != nil {
+			hooks.BeforeIntent(id, docs)
+		}
 		if err := s.cfg.Journal.LogIntent(id.String(), docs); err != nil {
 			return fmt.Errorf("sched: journal intent: %w", err)
+		}
+		if hooks := s.cfg.Hooks; hooks != nil && hooks.AfterIntent != nil {
+			hooks.AfterIntent(id, docs)
 		}
 		group = &persistGroup{id: id, remaining: int64(len(toPersist))}
 	}
@@ -412,8 +447,23 @@ func (s *Site) commitLocal(id txn.ID) error {
 	// documents to the persist pipeline, then release. The pipeline's next
 	// flush of each document necessarily includes this transaction's
 	// committed changes — the tree only moves forward from here (later
-	// commits add theirs; aborts undo only their own).
-	s.tombstone(id)
+	// commits add theirs; aborts undo only their own). The tombstone is
+	// also the decision point against a concurrent local resolution: the
+	// entry check above is advisory (TOCTOU), only winning the tombstone
+	// authorises the consolidation.
+	if _, won, prevCommitted := s.tombstone(id, true); !won {
+		if prevCommitted {
+			return nil // a duplicate consolidation already did the work
+		}
+		// An orphan abort slipped in after the entry check and rolled the
+		// transaction back; acknowledging the commit now would report
+		// consolidation over an undone state. Close our own intent record
+		// so it cannot dangle in-doubt.
+		if s.cfg.Journal != nil && group != nil {
+			_ = s.cfg.Journal.LogAbort(id.String())
+		}
+		return fmt.Errorf("sched: site %d: %s aborted during consolidation", s.id, id)
+	}
 	for _, ds := range toPersist {
 		ds.mu.Lock()
 		delete(ds.dirty, id)
@@ -431,7 +481,7 @@ func (s *Site) commitLocal(id txn.ID) error {
 // transaction (an exchange abandoned by cancellation); the tombstone plus
 // the per-document barrier below make the undo set complete.
 func (s *Site) abortLocal(id txn.ID) error {
-	pt := s.tombstone(id)
+	pt, _, _ := s.tombstone(id, false)
 	var names []string
 	if pt != nil {
 		names = pt.docNames()

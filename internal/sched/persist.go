@@ -62,17 +62,49 @@ func (s *Site) Sync() {
 // terminating transaction and starts the drain worker if none is running.
 // Callers hold ds.mu.
 func (s *Site) schedulePersistLocked(ds *docState, group *persistGroup) {
+	if group == nil && s.Killed() {
+		// A corrective (abort-path) persist on a crashed site: the store is
+		// abandoned mid-state anyway and recovery catch-up converges it;
+		// scheduling would only leave a write racing the wreckage.
+		return
+	}
 	ds.persistPending++
 	if group != nil {
 		ds.persistGroups = append(ds.persistGroups, group)
 	}
 	s.persistMu.Lock()
 	s.persistCount++
-	s.persistMu.Unlock()
 	if !ds.persistActive {
 		ds.persistActive = true
+		s.workerCount++
 		go s.persistWorker(ds)
 	}
+	s.persistMu.Unlock()
+}
+
+// workerDone retires one persist worker and wakes Quiesce waiters.
+func (s *Site) workerDone() {
+	s.persistMu.Lock()
+	s.workerCount--
+	if s.workerCount == 0 {
+		s.persistCond.Broadcast()
+	}
+	s.persistMu.Unlock()
+}
+
+// Quiesce blocks until no persist worker is running — including, after
+// Kill, a worker caught mid Store write. A crashed in-process site shares
+// its Store with the instance that will replace it, so the replacement must
+// not start catch-up while a dead incarnation's Save could still land over
+// the caught-up bytes (a real process crash needs nothing: the workers die
+// with the process). Do not call from inside a CrashHooks callback — the
+// BeforeSave hook runs on the worker being waited for.
+func (s *Site) Quiesce() {
+	s.persistMu.Lock()
+	for s.workerCount > 0 {
+		s.persistCond.Wait()
+	}
+	s.persistMu.Unlock()
 }
 
 // persistDone retires n pending persists and wakes Sync waiters at zero.
@@ -89,6 +121,7 @@ func (s *Site) persistDone(n int64) {
 // remain. At most one worker runs per document (persistActive), which is
 // what keeps Store writes in commit order.
 func (s *Site) persistWorker(ds *docState) {
+	defer s.workerDone()
 	for {
 		// Batching window: let a burst of commits accumulate behind one
 		// snapshot. Stop short-circuits the wait so shutdown drains
@@ -116,6 +149,26 @@ func (s *Site) persistWorker(ds *docState) {
 		// arena copy of the tree. Marshal and I/O happen below, unlocked.
 		snap := ds.doc.Snapshot()
 		ds.mu.Unlock()
+
+		if hooks := s.cfg.Hooks; hooks != nil && hooks.BeforeSave != nil {
+			hooks.BeforeSave(snap.Name)
+		}
+		if s.Killed() {
+			// The site crashed between the commit acknowledgement and the
+			// covering write: nothing may reach the Store or the journal —
+			// the open intents are exactly the in-doubt transactions a
+			// restart must resolve. The accounting (including anything that
+			// accumulated behind this flush) is still retired so a Stop
+			// after Kill cannot hang on the drain.
+			ds.mu.Lock()
+			covered += ds.persistPending
+			ds.persistPending = 0
+			ds.persistGroups = nil
+			ds.persistActive = false
+			ds.mu.Unlock()
+			s.persistDone(covered)
+			return
+		}
 
 		err := s.cfg.Store.Save(snap)
 		if err != nil {

@@ -47,6 +47,11 @@ func (s *Site) Begin(ctx context.Context) (*Session, error) {
 		return nil, fmt.Errorf("sched: site %d is stopped", s.id)
 	default:
 	}
+	if !s.Ready() {
+		// A recovering site must not coordinate either: an acknowledged
+		// write would race the catch-up that replaces its documents.
+		return nil, fmt.Errorf("%w: site %d is recovering", txn.ErrReplicaUnavailable, s.id)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %w", txn.ErrAborted, context.Cause(ctx))
 	}

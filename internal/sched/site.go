@@ -26,7 +26,9 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,6 +89,50 @@ type Config struct {
 	// with no window (still asynchronous). Site.Sync / Site.Stop drain the
 	// pipeline.
 	PersistDelay time.Duration
+	// HeartbeatInterval is the period of the liveness heartbeat to every
+	// peer site; zero disables failure detection (every peer stays believed
+	// Up, the pre-recovery behaviour). With heartbeats on, a peer that
+	// misses HeartbeatMisses consecutive rounds is declared Down:
+	// participant transactions it coordinated are resolved by the
+	// termination protocol, reads route to the surviving replicas of its
+	// documents, and writes touching them fail fast with
+	// ErrReplicaUnavailable.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is the consecutive-miss threshold before a Suspect
+	// peer is declared Down (default 3).
+	HeartbeatMisses int
+	// Recovering starts the site in recovering state: it answers heartbeats
+	// not-ready and refuses operations until FinishRecovery, so peers keep
+	// routing around it while internal/recovery replays the journal and
+	// catches its documents up.
+	Recovering bool
+	// Hooks are test-only crash-point callbacks (see CrashHooks). Shared by
+	// pointer so a harness can install hooks on an already-built site (but
+	// never while transactions are in flight).
+	Hooks *CrashHooks
+}
+
+// CrashHooks are fault-injection callbacks fired at the 2PC stage
+// boundaries, for crash tests and the harness's chaos mode. Each hook runs
+// outside every scheduler mutex, so a hook may call Site.Kill to simulate a
+// crash exactly at that stage; the code after the hook observes the death
+// the way it would observe a real one (journal writes fail, the transport
+// endpoint is gone, persists are abandoned). Nil hooks cost nothing.
+type CrashHooks struct {
+	// BeforeDecision fires at the coordinator after every operation
+	// executed, before the commit decision record is logged.
+	BeforeDecision func(id txn.ID)
+	// AfterDecision fires at the coordinator once the decision record is
+	// durable, before the commit fan-out.
+	AfterDecision func(id txn.ID)
+	// BeforeIntent fires in commitLocal before the journal intent record.
+	BeforeIntent func(id txn.ID, docs []string)
+	// AfterIntent fires in commitLocal once the intent record is durable,
+	// before the documents reach the persist pipeline.
+	AfterIntent func(id txn.ID, docs []string)
+	// BeforeSave fires in the persist worker after the snapshot is taken,
+	// before the Store write — the "mid-persist" crash point.
+	BeforeSave func(doc string)
 }
 
 // GrantInfo describes one granted lock for history recording.
@@ -124,6 +170,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PersistDelay == 0 {
 		c.PersistDelay = 2 * time.Millisecond
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
 	}
 	if len(c.Sites) == 0 {
 		c.Sites = []int{c.SiteID}
@@ -198,6 +247,7 @@ type partTxn struct {
 	id          txn.ID
 	ts          txn.TS
 	coordinator int
+	created     time.Time // for the orphan sweep's age threshold
 
 	// cleanupMu serialises undo application between an operation-level undo
 	// (undoOpLocal) and the transaction-level abort: whichever takes an
@@ -336,13 +386,15 @@ type Site struct {
 	coord   map[txn.ID]*coordTxn
 	part    map[txn.ID]*partTxn
 	coordOf map[txn.ID]int // any transaction seen here -> its coordinator site
-	// finished tombstones recently-terminated transactions. The pipelined
-	// transport does not order an abandoned operation exchange against the
-	// cleanup messages sent after it, so a stale ExecOpReq can reach a
-	// participant after the transaction's abort or commit; without the
-	// tombstone it would re-create participant state and acquire locks that
-	// nothing ever releases. Bounded by finishedRing (oldest evicted).
-	finished     map[txn.ID]struct{}
+	// finished tombstones recently-terminated transactions, mapped to their
+	// outcome (true = committed). The pipelined transport does not order an
+	// abandoned operation exchange against the cleanup messages sent after
+	// it, so a stale ExecOpReq can reach a participant after the
+	// transaction's abort or commit; without the tombstone it would
+	// re-create participant state and acquire locks that nothing ever
+	// releases. The outcome additionally answers the termination protocol's
+	// TxnStatusReq. Bounded by finishedRing (oldest evicted).
+	finished     map[txn.ID]bool
 	finishedRing []txn.ID
 	finishedIdx  int
 
@@ -359,8 +411,21 @@ type Site struct {
 	// paths are pre-parsed on the Update itself (xupdate.Validate).
 	queries *xpath.Cache
 
-	node   transport.Node
-	stopCh chan struct{}
+	// liveness is the failure-detector view of the peers, fed by heartbeats
+	// and by the outcome of every transport exchange.
+	liveness *liveness
+	// ready gates service: 0 while the site is recovering (heartbeats
+	// answer not-ready, operations are refused), 1 once it serves.
+	ready int32
+	// killed is set by Kill: the site died abruptly and must not write to
+	// its store or journal again.
+	killed int32
+	// sweeping serialises the background orphan sweep (liveness.go).
+	sweeping int32
+
+	node     transport.Node
+	stopCh   chan struct{}
+	stopOnce sync.Once // Stop and Kill race on closing stopCh
 	// ctx is the site's lifecycle context: background processes (the
 	// deadlock detector, wake-up notifications) bind their transport
 	// exchanges to it so Stop can cut a blocked poll short instead of
@@ -373,9 +438,18 @@ type Site struct {
 	// reach the Store. A plain counter with a condition variable, not a
 	// WaitGroup: commits keep incrementing while other goroutines wait,
 	// which WaitGroup forbids (Add racing Wait across a zero crossing).
+	// stopping/commitGate close the shutdown race between a late local
+	// consolidation and the journal close: once stopping is set no new
+	// commitLocal may begin, and Stop waits for the in-flight ones
+	// (commitGate) before the final drain — so the journal is closed only
+	// after every intent it will ever carry has been written and its
+	// covering persist drained.
 	persistMu    sync.Mutex
 	persistCond  *sync.Cond
 	persistCount int64
+	workerCount  int64 // running persist workers, for Quiesce
+	stopping     bool
+	commitGate   int64
 }
 
 // New creates a site instance. Documents must be loaded with LoadDocument
@@ -390,16 +464,48 @@ func New(cfg Config) *Site {
 		coord:        make(map[txn.ID]*coordTxn),
 		part:         make(map[txn.ID]*partTxn),
 		coordOf:      make(map[txn.ID]int),
-		finished:     make(map[txn.ID]struct{}),
+		finished:     make(map[txn.ID]bool),
 		finishedRing: make([]txn.ID, 4096),
 		queries:      xpath.NewCache(4096),
 		stopCh:       make(chan struct{}),
 		ctx:          ctx,
 		cancel:       cancel,
 	}
+	if !cfg.Recovering {
+		s.ready = 1
+	}
+	s.liveness = newLiveness(cfg.HeartbeatInterval > 0, s.abortOrphans)
 	s.persistCond = sync.NewCond(&s.persistMu)
+	if cfg.Journal != nil {
+		// Fence the identifier space on EVERY journaled construction, not
+		// just the recovery path: an incarnation that re-minted a prior ID
+		// would have its commit record silently seal the crashed
+		// incarnation's unrelated in-doubt intent.
+		if m := cfg.Journal.MaxSeq(cfg.SiteID); m > 0 {
+			s.AdvancePast(m + SeqFenceGap)
+		}
+	}
 	return s
 }
+
+// Ready reports whether the site is serving (recovery, if any, completed).
+func (s *Site) Ready() bool { return atomic.LoadInt32(&s.ready) == 1 }
+
+// FinishRecovery marks a recovering site ready to serve: heartbeats start
+// answering OK, so peers route traffic to it again.
+func (s *Site) FinishRecovery() { atomic.StoreInt32(&s.ready, 1) }
+
+// Killed reports whether the site was crashed with Kill.
+func (s *Site) Killed() bool { return atomic.LoadInt32(&s.killed) == 1 }
+
+// Journal returns the site's commit journal, or nil.
+func (s *Site) Journal() *store.Journal { return s.cfg.Journal }
+
+// PeerStates snapshots the liveness view for status reporting.
+func (s *Site) PeerStates() []transport.PeerStatus { return s.liveness.snapshot() }
+
+// PeerState returns the current belief about one peer.
+func (s *Site) PeerState(site int) PeerState { return s.liveness.state(site) }
 
 // doc returns the scheduling domain of a document, or nil.
 func (s *Site) doc(name string) *docState {
@@ -428,11 +534,13 @@ func (s *Site) isFinished(id txn.ID) bool {
 	return dead
 }
 
-// markFinishedLocked tombstones a terminated transaction. Callers hold
-// s.mu. The ring bounds memory: after its capacity in newer terminations
-// the tombstone is evicted, which is far beyond any realistic in-flight
-// window for a stale operation.
-func (s *Site) markFinishedLocked(id txn.ID) {
+// markFinishedLocked tombstones a terminated transaction with its outcome.
+// Callers hold s.mu. The first outcome recorded wins: a stale cleanup
+// message arriving after the transaction was resolved cannot flip it. The
+// ring bounds memory: after its capacity in newer terminations the
+// tombstone is evicted, which is far beyond any realistic in-flight window
+// for a stale operation.
+func (s *Site) markFinishedLocked(id txn.ID, committed bool) {
 	if _, ok := s.finished[id]; ok {
 		return
 	}
@@ -441,7 +549,7 @@ func (s *Site) markFinishedLocked(id txn.ID) {
 	}
 	s.finishedRing[s.finishedIdx] = id
 	s.finishedIdx = (s.finishedIdx + 1) % len(s.finishedRing)
-	s.finished[id] = struct{}{}
+	s.finished[id] = committed
 }
 
 // ID returns the site identifier.
@@ -453,8 +561,9 @@ func (s *Site) Protocol() lock.Protocol { return s.cfg.Protocol }
 // Catalog returns the replica catalog the site routes with.
 func (s *Site) Catalog() *replica.Catalog { return s.cfg.Catalog }
 
-// Attach connects the site to a transport network endpoint and, if a
-// deadlock interval is configured, starts the periodic detector.
+// Attach connects the site to a transport network endpoint and starts the
+// configured background processes: the periodic deadlock detector and the
+// liveness heartbeat.
 func (s *Site) Attach(join func(transport.Handler) (transport.Node, error)) error {
 	node, err := join(transport.HandlerFunc(s.HandleMessage))
 	if err != nil {
@@ -464,6 +573,10 @@ func (s *Site) Attach(join func(transport.Handler) (transport.Node, error)) erro
 	if s.cfg.DeadlockInterval > 0 {
 		s.wg.Add(1)
 		go s.detectorLoop()
+	}
+	if s.cfg.HeartbeatInterval > 0 {
+		s.wg.Add(1)
+		go s.heartbeatLoop()
 	}
 	return nil
 }
@@ -475,23 +588,82 @@ func (s *Site) AttachNetwork(net *transport.Network) error {
 	})
 }
 
-// Stop terminates background processes and detaches from the network.
-// Cancelling the lifecycle context unblocks a detector poll that is waiting
-// on an unresponsive peer, so Stop never hangs behind it. Stop drains the
-// persist pipeline: every commit acknowledged before Stop is in the Store
-// when Stop returns.
+// Stop terminates background processes, drains in-flight work and detaches
+// from the network. Cancelling the lifecycle context unblocks a detector
+// poll that is waiting on an unresponsive peer, so Stop never hangs behind
+// it. Stop drains the persist pipeline — every commit acknowledged before
+// Stop is in the Store when Stop returns — and only then closes the site's
+// journal: the stopping flag refuses consolidations that would race the
+// close, and the commit gate waits out the ones already in flight, so no
+// intent record can ever chase a closed journal (which would manufacture a
+// phantom in-doubt transaction).
 func (s *Site) Stop() {
-	select {
-	case <-s.stopCh:
-	default:
-		close(s.stopCh)
-	}
+	s.persistMu.Lock()
+	s.stopping = true
+	s.persistMu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopCh) })
 	s.cancel()
 	s.wg.Wait()
+	// Wait for in-flight local consolidations, then drain their persists.
+	s.persistMu.Lock()
+	for s.commitGate > 0 {
+		s.persistCond.Wait()
+	}
+	s.persistMu.Unlock()
 	s.Sync()
 	if s.node != nil {
 		s.node.Close()
 	}
+	if s.cfg.Journal != nil && !s.Killed() {
+		s.cfg.Journal.Close()
+	}
+}
+
+// Kill crashes the site abruptly, simulating a process or machine failure:
+// the transport endpoint drops (peers' in-flight calls fail with
+// ErrPeerClosed and feed their suspicion state), the journal file handle
+// closes without any final records, and the persist pipeline abandons
+// writes that have not reached the Store — acknowledged commits whose
+// covering write never landed stay in-doubt in the journal, exactly as
+// after a real crash. The Store and journal files survive for a restart
+// through internal/recovery.
+func (s *Site) Kill() {
+	if !atomic.CompareAndSwapInt32(&s.killed, 0, 1) {
+		return
+	}
+	atomic.StoreInt32(&s.ready, 0)
+	s.persistMu.Lock()
+	s.stopping = true
+	s.persistMu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.cancel()
+	if s.node != nil {
+		s.node.Close()
+	}
+	if s.cfg.Journal != nil {
+		s.cfg.Journal.Close()
+	}
+}
+
+// enterCommit admits one local consolidation under the shutdown gate.
+func (s *Site) enterCommit() bool {
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	if s.stopping {
+		return false
+	}
+	s.commitGate++
+	return true
+}
+
+// exitCommit retires one admitted consolidation.
+func (s *Site) exitCommit() {
+	s.persistMu.Lock()
+	s.commitGate--
+	if s.commitGate == 0 {
+		s.persistCond.Broadcast()
+	}
+	s.persistMu.Unlock()
 }
 
 // Stats returns a snapshot of the site's counters.
@@ -559,11 +731,19 @@ func (s *Site) LoadDocument(name string) error {
 	return nil
 }
 
+// SeqFenceGap is added to a journal's maximum recorded sequence number when
+// fencing a restarted site's identifier space. Read-only transactions never
+// journal, so the journal's maximum undercounts the previous incarnation;
+// the gap puts the new incarnation far past any plausibly unjournaled ID.
+const SeqFenceGap = 1 << 20
+
 // Bootstrap loads every document present in the site's store into memory
 // (the DataManager recovering state after a restart) and, when a journal is
 // configured, returns the in-doubt transactions found in it — transactions
-// whose persistence may be partial and must be resolved against their
-// coordinators before their documents are trusted.
+// whose persistence may be partial and must be resolved with the
+// presumed-abort termination protocol (internal/recovery) before their
+// documents are trusted. (The identifier-space fence past the journal's
+// records is applied by New on every journaled construction.)
 func (s *Site) Bootstrap() ([]store.InDoubt, error) {
 	names, err := s.cfg.Store.List()
 	if err != nil {
@@ -577,7 +757,66 @@ func (s *Site) Bootstrap() ([]store.InDoubt, error) {
 	if s.cfg.Journal == nil {
 		return nil, nil
 	}
-	return store.Recover(s.cfg.Journal.Path())
+	return s.cfg.Journal.InDoubt(), nil
+}
+
+// PersistFailed reports whether any of the documents carries a latched
+// background persist failure — its Store bytes cannot be assumed to match
+// the committed state, so recovery must not certify its intents durable.
+func (s *Site) PersistFailed(docs []string) bool {
+	for _, name := range docs {
+		ds := s.doc(name)
+		if ds == nil {
+			continue
+		}
+		ds.mu.Lock()
+		failed := ds.persistErr != nil
+		ds.mu.Unlock()
+		if failed {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplaceDocument installs a fresh copy of a document, replacing the
+// in-memory state and the Store copy — the catch-up path a restarted
+// replica uses after fetching the current XML from a live peer. Only safe
+// while the site is not serving (recovering): live docState pointers are
+// never replaced under traffic.
+func (s *Site) ReplaceDocument(doc *xmltree.Document) error {
+	if s.Ready() {
+		return fmt.Errorf("sched: site %d: ReplaceDocument while serving", s.id)
+	}
+	return s.AddDocument(doc)
+}
+
+// AdvancePast fences the site's transaction-identifier space and clock past
+// the given sequence number. A restarted site calls it with the journal's
+// maximum recorded sequence (plus a generous gap for unjournaled, read-only
+// transactions), so the new incarnation can never mint an ID that collides
+// with one from before the crash — peers may still hold tombstones or
+// journal records naming those.
+func (s *Site) AdvancePast(seq int64) {
+	s.mu.Lock()
+	if seq > s.seq {
+		s.seq = seq
+	}
+	s.clock.Observe(txn.TS(seq))
+	s.mu.Unlock()
+}
+
+// Call sends a message to a peer site and returns the response — the
+// transport access internal/recovery uses for the termination protocol and
+// document catch-up.
+func (s *Site) Call(ctx context.Context, to int, msg any) (any, error) {
+	return s.send(ctx, to, msg)
+}
+
+// ResolveOutcome runs the read side of the termination protocol for one
+// transaction id (see liveness.go); exported for internal/recovery.
+func (s *Site) ResolveOutcome(ctx context.Context, id txn.ID) string {
+	return s.resolveOutcome(ctx, id)
 }
 
 // Document returns a deep copy of the current in-memory document, for
@@ -608,11 +847,40 @@ func (s *Site) Documents() []string {
 func (s *Site) HandleMessage(from int, msg any) (any, error) {
 	switch m := msg.(type) {
 	case transport.ExecOpReq:
+		if !s.Ready() {
+			return transport.ExecOpResp{Site: s.id, Failed: true,
+				Code:  txn.CodeReplicaUnavailable,
+				Error: fmt.Sprintf("site %d is recovering", s.id)}, nil
+		}
 		return s.handleExecOp(m), nil
+	case transport.PingReq:
+		return transport.Ack{OK: s.Ready()}, nil
+	case transport.TxnStatusReq:
+		return s.txnStatusLocal(m.Txn), nil
+	case transport.FetchDocReq:
+		return s.handleFetchDoc(m), nil
+	case transport.SiteStatusReq:
+		return s.siteStatus(), nil
 	case transport.UndoOpReq:
 		s.undoOpLocal(m.Txn, m.OpIdx)
 		return transport.Ack{OK: true}, nil
 	case transport.CommitReq:
+		// A remote consolidation request for a transaction this site has no
+		// record of must be refused, not vacuously acknowledged: a site that
+		// crashed and restarted between executing the operations and
+		// receiving the commit lost the effects with its old incarnation,
+		// and acking would report commit over bytes that do not exist. (The
+		// coordinator's LOCAL commitLocal call legitimately no-ops for a
+		// transaction that never touched its site; that call does not come
+		// through here.)
+		s.mu.Lock()
+		_, inPart := s.part[m.Txn]
+		_, terminated := s.finished[m.Txn]
+		s.mu.Unlock()
+		if !inPart && !terminated {
+			return transport.Ack{OK: false,
+				Error: fmt.Sprintf("site %d has no state for %s (restarted?)", s.id, m.Txn)}, nil
+		}
 		err := s.commitLocal(m.Txn)
 		if err != nil {
 			return transport.Ack{OK: false, Error: err.Error()}, nil
@@ -683,10 +951,55 @@ func (s *Site) signalAbort(id txn.ID, reason string) {
 // send delivers a message to a peer site (never to self). The context bounds
 // the exchange: transaction-scoped messages pass the transaction's context,
 // cleanup messages (undo, commit, abort, fail, wake-ups) pass a detached one
-// because they must complete even after the client gave up.
+// because they must complete even after the client gave up. Every exchange
+// feeds the liveness view: an answer restores the peer to Up, a torn-down
+// connection (ErrPeerClosed) demotes it to Suspect instead of staying a
+// per-call hard error.
 func (s *Site) send(ctx context.Context, to int, msg any) (any, error) {
 	if s.node == nil {
 		return nil, fmt.Errorf("sched: site %d is not attached to a network", s.id)
 	}
-	return s.node.Send(ctx, to, msg)
+	resp, err := s.node.Send(ctx, to, msg)
+	switch {
+	case err == nil:
+		s.liveness.observeUp(to)
+	case errors.Is(err, transport.ErrPeerClosed):
+		s.liveness.observeClosed(to)
+	}
+	return resp, err
+}
+
+// handleFetchDoc serves a catch-up request: the current serialized form of
+// a locally held document. A recovering site refuses — it cannot vouch for
+// its copy until its own catch-up completes.
+func (s *Site) handleFetchDoc(req transport.FetchDocReq) transport.FetchDocResp {
+	if !s.Ready() {
+		return transport.FetchDocResp{}
+	}
+	doc, err := s.Document(req.Doc)
+	if err != nil {
+		return transport.FetchDocResp{}
+	}
+	return transport.FetchDocResp{Found: true, XML: doc.String()}
+}
+
+// siteStatus reports the site's operational state for dtxctl -status.
+func (s *Site) siteStatus() transport.SiteStatusResp {
+	st := s.Stats()
+	resp := transport.SiteStatusResp{
+		Site:      s.id,
+		Ready:     s.Ready(),
+		Documents: s.Documents(),
+		Peers:     s.PeerStates(),
+		Committed: st.TxnsCommitted,
+		Aborted:   st.TxnsAborted,
+		Failed:    st.TxnsFailed,
+	}
+	sort.Strings(resp.Documents)
+	if s.cfg.Journal != nil {
+		for _, d := range s.cfg.Journal.InDoubt() {
+			resp.InDoubt = append(resp.InDoubt, transport.InDoubtTxn{Txn: d.Txn, Docs: d.Docs})
+		}
+	}
+	return resp
 }

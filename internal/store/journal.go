@@ -3,9 +3,15 @@ package store
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/txn"
 )
 
 // Journal is a write-ahead commit log for multi-document transactions —
@@ -16,48 +22,217 @@ import (
 // A site logs an intent record naming every document a transaction will
 // persist, persists the documents (each individually atomic via the
 // FileStore's temp-file + rename), then logs a commit record. After a
-// crash, Recover reports transactions with an intent but no commit —
-// in-doubt transactions whose document set may be partially persisted and
-// whose outcome must be resolved against the coordinator.
+// crash, the open intents are the in-doubt transactions: their document set
+// may be partially persisted and their outcome must be resolved with the
+// presumed-abort termination protocol (internal/recovery).
+//
+// A coordinator additionally logs a decision record BEFORE fanning the
+// commit out to the participants. The decision record is what makes
+// presumed abort sound: a recovering participant asks the coordinator, and
+// the coordinator answers commit if (and only if) a decision record exists —
+// no record means no participant can have consolidated, so abort is safe to
+// presume.
 //
 // Record format, one per line:
 //
-//	I <txn> <doc>...
-//	C <txn>
+//	I <txn> <doc>...   intent: the transaction is about to persist the docs
+//	C <txn>            commit: every document of the transaction is persisted
+//	A <txn>            abort: the transaction was resolved as aborted
+//	                   (closes the intent and voids any decision)
+//	D <txn>            coordinator commit decision
+//	K <site>:<seq>,... checkpoint marker carrying the max sequence number
+//	                   seen per site, for restart identifier fencing
+//
+// The journal keeps its live state (open intents, live decisions, max
+// sequence numbers) in memory, rebuilt by OpenJournal from the file, so a
+// restarted site resumes from the last checkpoint without a full replay by
+// its callers. Once every intent of a batch is sealed the file is compacted:
+// a checkpoint record plus the still-live records are rewritten atomically
+// (temp file + rename), so the journal does not grow without bound.
 type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+
+	// Live state, maintained across appends and rebuilt on open.
+	open          map[string][]string // in-doubt intents: txn -> docs
+	openOrder     []string            // intent order, for deterministic reports
+	decisions     map[string]bool     // live coordinator commit decisions
+	decisionOrder []string
+	decisionHead  int           // decisionOrder index of the oldest possibly-live entry
+	maxSeq        map[int]int64 // max sequence number seen per site
+
+	// records counts appended lines since the last compaction; when it
+	// passes checkpointEvery and the journal has at least one sealed record
+	// to drop, the file is compacted in place.
+	records         int
+	checkpointEvery int
 }
 
-// OpenJournal opens (creating if needed) a journal file for appending.
+// maxDecisions bounds the live decision set. Decisions for cleanly completed
+// local transactions are dropped as their commit record lands; the cap
+// protects against a pathological run of decided transactions that never
+// seal (each one would otherwise be carried across every checkpoint
+// forever).
+//
+// Both discard rules approximate the textbook protocol, which retains a
+// decision until every PARTICIPANT acknowledges its own durability: here the
+// coordinator forgets on its own seal (or at the cap), so a participant that
+// stays crashed past the retention window — beyond this site's tombstone
+// ring AND its decision set — hears presumed abort for a transaction that
+// committed. The window is generous (thousands of transactions), and the
+// participant's documents still converge by catching up from a live
+// replica; only the journal's outcome label for that corner is wrong. The
+// honest fix is participant acks; until then this comment is the contract.
+const maxDecisions = 8192
+
+// defaultCheckpointEvery is the compaction threshold in appended records.
+const defaultCheckpointEvery = 4096
+
+// OpenJournal opens (creating if needed) a journal file for appending and
+// rebuilds the live state — open intents, live decisions, per-site sequence
+// fences — from its records, resuming from the last checkpoint.
 func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{
+		path:            path,
+		open:            make(map[string][]string),
+		decisions:       make(map[string]bool),
+		maxSeq:          make(map[int]int64),
+		checkpointEvery: defaultCheckpointEvery,
+	}
+	if err := j.replay(); err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: journal: %w", err)
 	}
-	return &Journal{f: f, path: path}, nil
+	j.f = f
+	return j, nil
 }
 
 // Path returns the journal file path.
 func (j *Journal) Path() string { return j.path }
 
+// SetCheckpointEvery overrides the compaction threshold (records appended
+// between compactions). Values below 1 restore the default.
+func (j *Journal) SetCheckpointEvery(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < 1 {
+		n = defaultCheckpointEvery
+	}
+	j.checkpointEvery = n
+}
+
 func validToken(s string) bool {
 	return s != "" && !strings.ContainsAny(s, " \n\r\t")
 }
 
+// replay rebuilds the live state from the journal file. A missing file means
+// a fresh journal; torn trailing lines (a crash mid-append) are skipped.
+func (j *Journal) replay() error {
+	f, err := os.Open(j.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		j.applyLine(sc.Text())
+		j.records++
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	return nil
+}
+
+// applyLine folds one record into the live state. Unknown or torn lines are
+// ignored, matching Recover.
+func (j *Journal) applyLine(line string) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return
+	}
+	switch fields[0] {
+	case "I":
+		j.noteIntent(fields[1], fields[2:])
+	case "C":
+		j.noteSealed(fields[1])
+	case "A":
+		j.noteSealed(fields[1])
+	case "D":
+		j.noteDecision(fields[1])
+	case "K":
+		for _, part := range strings.Split(fields[1], ",") {
+			colon := strings.IndexByte(part, ':')
+			if colon < 0 {
+				continue
+			}
+			site, err1 := strconv.Atoi(part[:colon])
+			seq, err2 := strconv.ParseInt(part[colon+1:], 10, 64)
+			if err1 == nil && err2 == nil && seq > j.maxSeq[site] {
+				j.maxSeq[site] = seq
+			}
+		}
+	}
+}
+
+func (j *Journal) noteID(t string) {
+	if id, err := txn.ParseID(t); err == nil && id.Seq > j.maxSeq[id.Site] {
+		j.maxSeq[id.Site] = id.Seq
+	}
+}
+
+func (j *Journal) noteIntent(t string, docs []string) {
+	if _, seen := j.open[t]; !seen {
+		j.openOrder = append(j.openOrder, t)
+	}
+	j.open[t] = docs
+	j.noteID(t)
+}
+
+// noteSealed closes an intent and voids any decision for the transaction: a
+// commit record means the covering write landed (the decision is no longer
+// needed for in-doubt queries about a cleanly completed transaction), an
+// abort record means the transaction was resolved as aborted.
+func (j *Journal) noteSealed(t string) {
+	delete(j.open, t)
+	delete(j.decisions, t)
+	j.noteID(t)
+}
+
+func (j *Journal) noteDecision(t string) {
+	if !j.decisions[t] {
+		j.decisionOrder = append(j.decisionOrder, t)
+		j.decisions[t] = true
+	}
+	j.noteID(t)
+	// Cap the live decision set (see maxDecisions): walk forward from the
+	// oldest entry, skipping ones already sealed, until the cap holds.
+	for len(j.decisions) > maxDecisions && j.decisionHead < len(j.decisionOrder) {
+		delete(j.decisions, j.decisionOrder[j.decisionHead])
+		j.decisionHead++
+	}
+}
+
 // LogIntent records that the transaction is about to persist the documents.
 // The record is flushed to stable storage before returning.
-func (j *Journal) LogIntent(txn string, docs []string) error {
-	if !validToken(txn) {
-		return fmt.Errorf("store: journal: invalid txn id %q", txn)
+func (j *Journal) LogIntent(t string, docs []string) error {
+	if !validToken(t) {
+		return fmt.Errorf("store: journal: invalid txn id %q", t)
 	}
 	for _, d := range docs {
 		if !validToken(d) {
 			return fmt.Errorf("store: journal: invalid document name %q", d)
 		}
 	}
-	line := "I " + txn
+	line := "I " + t
 	if len(docs) > 0 {
 		line += " " + strings.Join(docs, " ")
 	}
@@ -65,16 +240,120 @@ func (j *Journal) LogIntent(txn string, docs []string) error {
 }
 
 // LogCommit records that every document of the transaction is persisted.
-func (j *Journal) LogCommit(txn string) error {
-	if !validToken(txn) {
-		return fmt.Errorf("store: journal: invalid txn id %q", txn)
+func (j *Journal) LogCommit(t string) error {
+	if !validToken(t) {
+		return fmt.Errorf("store: journal: invalid txn id %q", t)
 	}
-	return j.append("C " + txn)
+	return j.append("C " + t)
+}
+
+// LogAbort records that the transaction was resolved as aborted — written by
+// the recovery termination protocol when it presumes (or learns of) an
+// abort, so a later restart does not re-report the transaction in-doubt.
+func (j *Journal) LogAbort(t string) error {
+	if !validToken(t) {
+		return fmt.Errorf("store: journal: invalid txn id %q", t)
+	}
+	return j.append("A " + t)
+}
+
+// LogDecision records the coordinator's commit decision for the transaction.
+// It must be flushed BEFORE any commit message leaves the coordinator: the
+// presumed-abort rule ("no decision record means abort") is only sound if no
+// participant can consolidate ahead of the record.
+func (j *Journal) LogDecision(t string) error {
+	if !validToken(t) {
+		return fmt.Errorf("store: journal: invalid txn id %q", t)
+	}
+	return j.append("D " + t)
+}
+
+// SealDecision closes a live decision whose transaction persisted nothing at
+// the coordinator's own site (so no local commit record will ever seal it).
+// With an intent still open the seal is deferred to the persist pipeline's
+// commit record — sealing early would erase the in-doubt window.
+func (j *Journal) SealDecision(t string) error { return j.closeDecision(t, "C") }
+
+// VoidDecision writes an abort record for the transaction if (and only if)
+// a live decision exists for it — the coordinator's clean-abort path after a
+// participant refused the commit fan-out, where the decided-but-undelivered
+// commit must not survive as a live decision a recovering participant could
+// later read.
+func (j *Journal) VoidDecision(t string) error { return j.closeDecision(t, "A") }
+
+// closeDecision writes rec for a still-live decision, checked and appended
+// under one critical section: a no-op if the decision was already sealed,
+// and deferred if an intent appeared since the caller's snapshot — the
+// transaction is consolidating after all, and this record would close its
+// in-doubt window; the persist pipeline owns the sealing then.
+func (j *Journal) closeDecision(t, rec string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.decisions[t] {
+		return nil
+	}
+	if _, open := j.open[t]; open {
+		return nil
+	}
+	return j.appendLocked(rec + " " + t)
+}
+
+// Decision reports whether a live commit-decision record exists for the
+// transaction.
+func (j *Journal) Decision(t string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.decisions[t]
+}
+
+// Decisions returns the transactions with a live commit decision, in
+// decision order — the set a restarted coordinator must reconcile (a live
+// decision whose transaction never sealed may have reached some, none, or
+// all of its participants).
+func (j *Journal) Decisions() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, 0, len(j.decisions))
+	for _, t := range j.decisionOrder {
+		if j.decisions[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// InDoubt returns the open intents — transactions whose persistence may be
+// partial — in intent order.
+func (j *Journal) InDoubt() []InDoubt {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []InDoubt
+	for _, t := range j.openOrder {
+		if docs, ok := j.open[t]; ok {
+			out = append(out, InDoubt{Txn: t, Docs: docs})
+		}
+	}
+	return out
+}
+
+// MaxSeq returns the highest transaction sequence number the journal has
+// seen for the site, across checkpoints. A restarted site fences its
+// identifier space past this so new transactions cannot collide with
+// journaled ones from the previous incarnation.
+func (j *Journal) MaxSeq(site int) int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.maxSeq[site]
 }
 
 func (j *Journal) append(line string) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.appendLocked(line)
+}
+
+// appendLocked writes and fsyncs one record. Callers hold j.mu.
+func (j *Journal) appendLocked(line string) error {
 	if j.f == nil {
 		return fmt.Errorf("store: journal is closed")
 	}
@@ -84,7 +363,124 @@ func (j *Journal) append(line string) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("store: journal: %w", err)
 	}
+	j.applyLine(line)
+	j.records++
+	// Compact once the threshold is reached AND at least half the file is
+	// droppable (sealed records); without the second condition a journal
+	// whose live state alone exceeds the threshold would rewrite itself on
+	// every append. The factor keeps compaction amortised O(1) per record.
+	if live := 1 + len(j.open) + len(j.decisions); j.records >= j.checkpointEvery && j.records >= 2*live {
+		// Best effort: a failed compaction leaves the (valid, longer) file
+		// in place and the next append retries.
+		_ = j.compactLocked()
+	}
 	return nil
+}
+
+// Checkpoint forces a compaction: the file is rewritten as a checkpoint
+// record plus the still-live records (open intents, live decisions).
+func (j *Journal) Checkpoint() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("store: journal is closed")
+	}
+	return j.compactLocked()
+}
+
+// compactLocked rewrites the journal to its live state. Callers hold j.mu.
+func (j *Journal) compactLocked() error {
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), ".journal-*")
+	if err != nil {
+		return fmt.Errorf("store: journal: checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	lines := 1
+	fmt.Fprintf(w, "K %s\n", j.seqFenceLocked())
+	for _, t := range j.openOrder {
+		docs, ok := j.open[t]
+		if !ok {
+			continue
+		}
+		line := "I " + t
+		if len(docs) > 0 {
+			line += " " + strings.Join(docs, " ")
+		}
+		fmt.Fprintln(w, line)
+		lines++
+	}
+	for _, t := range j.decisionOrder {
+		if j.decisions[t] {
+			fmt.Fprintln(w, "D "+t)
+			lines++
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: journal: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: journal: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: journal: checkpoint: %w", err)
+	}
+	// Open the replacement append handle on the temp file BEFORE the
+	// rename: the handle follows the inode, so after the rename it is the
+	// journal — and any failure up to that point aborts the compaction with
+	// the old (longer but valid) file and handle fully intact. Opening
+	// after the rename instead would leave a failure window where j.f
+	// points at the unlinked old inode and every later append is silently
+	// invisible to recovery.
+	f, err := os.OpenFile(tmp.Name(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: journal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		f.Close()
+		return fmt.Errorf("store: journal: checkpoint: %w", err)
+	}
+	j.f.Close()
+	j.f = f
+	// Compact the order slices alongside the file.
+	j.openOrder = liveOrder(j.openOrder, func(t string) bool { _, ok := j.open[t]; return ok })
+	j.decisionOrder = liveOrder(j.decisionOrder, func(t string) bool { return j.decisions[t] })
+	j.decisionHead = 0
+	j.records = lines
+	return nil
+}
+
+func liveOrder(order []string, live func(string) bool) []string {
+	out := order[:0]
+	for _, t := range order {
+		if live(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// seqFenceLocked renders the per-site max sequence numbers for the
+// checkpoint record. Callers hold j.mu.
+func (j *Journal) seqFenceLocked() string {
+	sites := make([]int, 0, len(j.maxSeq))
+	for s := range j.maxSeq {
+		sites = append(sites, s)
+	}
+	sort.Ints(sites)
+	var b strings.Builder
+	for i, s := range sites {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", s, j.maxSeq[s])
+	}
+	if b.Len() == 0 {
+		return "0:0"
+	}
+	return b.String()
 }
 
 // Close closes the journal file.
@@ -108,7 +504,8 @@ type InDoubt struct {
 
 // Recover scans a journal file and returns the in-doubt transactions, in
 // intent order. A missing journal file means nothing to recover. Torn
-// trailing lines (a crash mid-append) are ignored.
+// trailing lines (a crash mid-append) are ignored. Recover is the offline
+// view; a live Journal answers the same question from memory with InDoubt.
 func Recover(path string) ([]InDoubt, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -118,35 +515,24 @@ func Recover(path string) ([]InDoubt, error) {
 		return nil, fmt.Errorf("store: journal: %w", err)
 	}
 	defer f.Close()
+	return recoverFrom(f)
+}
 
-	intents := make(map[string][]string)
-	var order []string
-	sc := bufio.NewScanner(f)
+func recoverFrom(r io.Reader) ([]InDoubt, error) {
+	// One record grammar: the offline view folds records through the same
+	// applyLine the live journal uses, over a detached state.
+	j := &Journal{
+		open:      make(map[string][]string),
+		decisions: make(map[string]bool),
+		maxSeq:    make(map[int]int64),
+	}
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
-		fields := strings.Fields(sc.Text())
-		if len(fields) < 2 {
-			continue // torn or blank line
-		}
-		switch fields[0] {
-		case "I":
-			txn := fields[1]
-			if _, seen := intents[txn]; !seen {
-				order = append(order, txn)
-			}
-			intents[txn] = fields[2:]
-		case "C":
-			delete(intents, fields[1])
-		}
+		j.applyLine(sc.Text())
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("store: journal: %w", err)
 	}
-	var out []InDoubt
-	for _, txn := range order {
-		if docs, ok := intents[txn]; ok {
-			out = append(out, InDoubt{Txn: txn, Docs: docs})
-		}
-	}
-	return out, nil
+	return j.InDoubt(), nil
 }

@@ -3,6 +3,8 @@ package store
 import (
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -155,4 +157,116 @@ func TestJournalConcurrentAppends(t *testing.T) {
 	if len(inDoubt) != 0 {
 		t.Fatalf("in doubt after clean concurrent run: %v", inDoubt)
 	}
+}
+
+func TestJournalDecisionLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "commit.log")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coordinator decides commit, participant-side intent follows, covering
+	// write seals both.
+	if err := j.LogDecision("t0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Decision("t0.1") {
+		t.Fatal("decision not live after LogDecision")
+	}
+	if err := j.LogIntent("t0.1", []string{"d1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.LogCommit("t0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if j.Decision("t0.1") {
+		t.Fatal("decision still live after commit record")
+	}
+
+	// A decision with no local persistence is sealed explicitly.
+	j.LogDecision("t0.2")
+	if err := j.SealDecision("t0.2"); err != nil {
+		t.Fatal(err)
+	}
+	if j.Decision("t0.2") {
+		t.Fatal("decision still live after SealDecision")
+	}
+	// Sealing with an open intent defers to the pipeline's commit record.
+	j.LogDecision("t0.3")
+	j.LogIntent("t0.3", []string{"d1"})
+	if err := j.SealDecision("t0.3"); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Decision("t0.3") {
+		t.Fatal("open-intent decision sealed early")
+	}
+	// An abort resolution voids the decision and closes the intent.
+	if err := j.LogAbort("t0.3"); err != nil {
+		t.Fatal(err)
+	}
+	if j.Decision("t0.3") || len(j.InDoubt()) != 0 {
+		t.Fatalf("abort did not void: decisions=%v inDoubt=%v", j.Decisions(), j.InDoubt())
+	}
+	j.Close()
+
+	// The offline view agrees.
+	inDoubt, err := Recover(path)
+	if err != nil || len(inDoubt) != 0 {
+		t.Fatalf("recover: %v %v", inDoubt, err)
+	}
+}
+
+func TestJournalCheckpointCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "commit.log")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetCheckpointEvery(10)
+	// Leave one intent open and one decision live; everything else seals.
+	j.LogIntent("t0.1", []string{"dA", "dB"})
+	j.LogDecision("t0.99")
+	for i := 2; i < 60; i++ {
+		id := "t0." + strconv.Itoa(i)
+		j.LogIntent(id, []string{"d"})
+		j.LogCommit(id)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 58 intent+commit pairs would be >115 lines uncompacted; the rotated
+	// file holds only the checkpoint marker plus the live records.
+	if lines := countLines(t, path); lines > 10 {
+		t.Fatalf("journal not compacted: %d lines, %d bytes", lines, st.Size())
+	}
+	j.Close()
+
+	// Reopen: live state survives the checkpoint.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	inDoubt := j2.InDoubt()
+	if len(inDoubt) != 1 || inDoubt[0].Txn != "t0.1" || len(inDoubt[0].Docs) != 2 {
+		t.Fatalf("in doubt after reopen = %+v", inDoubt)
+	}
+	if !j2.Decision("t0.99") {
+		t.Fatal("decision lost across checkpoint")
+	}
+	// The checkpoint record fences the sequence space even though the
+	// sealed records themselves are gone.
+	if got := j2.MaxSeq(0); got != 99 {
+		t.Fatalf("MaxSeq(0) = %d, want 99", got)
+	}
+}
+
+func countLines(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Count(string(data), "\n")
 }

@@ -107,6 +107,89 @@ type SubmitResp struct {
 	Error   string
 }
 
+// PingReq is a liveness heartbeat. The receiver answers Ack{OK:true} once it
+// is serving (a recovering site answers OK:false so peers keep routing
+// around it until catch-up completes).
+type PingReq struct{}
+
+// TxnStatusReq asks a site what it knows about a transaction's outcome —
+// the query of the presumed-abort termination protocol. A recovering
+// participant sends it to the transaction's coordinator (which answers from
+// its decision records and tombstones) and, failing that, to every site
+// that may have participated.
+type TxnStatusReq struct{ Txn txn.ID }
+
+// Transaction outcomes carried by TxnStatusResp.
+const (
+	OutcomeCommitted = "committed"
+	OutcomeAborted   = "aborted"
+	OutcomeActive    = "active"
+	OutcomeUnknown   = "unknown"
+)
+
+// TxnStatusResp answers a TxnStatusReq. Authoritative marks the answer of a
+// transaction's own coordinator (including the presumed abort it derives
+// from the absence of a decision record); participant answers are hearsay a
+// resolver combines — any "committed" wins, since a participant can only
+// have consolidated after the coordinator decided commit.
+type TxnStatusResp struct {
+	Outcome       string
+	Authoritative bool
+}
+
+// FetchDocReq asks a site for the current XML of a document it holds — the
+// catch-up path a restarted replica uses before rejoining.
+type FetchDocReq struct{ Doc string }
+
+// FetchDocResp carries the serialized document. Found is false when the
+// site does not hold the document (or is itself recovering and cannot vouch
+// for its copy).
+type FetchDocResp struct {
+	Found bool
+	XML   string
+}
+
+// SiteStatusReq asks a site for its operational status (dtxctl -status).
+type SiteStatusReq struct{}
+
+// PeerStatus is one entry of a site's liveness view.
+type PeerStatus struct {
+	Site   int
+	Status string // "up" | "suspect" | "down"
+}
+
+// InDoubtTxn mirrors store.InDoubt for the wire.
+type InDoubtTxn struct {
+	Txn  string
+	Docs []string
+}
+
+// SiteStatusResp reports a site's documents, liveness view, journal
+// in-doubt set and headline counters.
+type SiteStatusResp struct {
+	Site      int
+	Ready     bool
+	Documents []string
+	Peers     []PeerStatus
+	InDoubt   []InDoubtTxn
+	Committed int64
+	Aborted   int64
+	Failed    int64
+}
+
+// RecoverReq asks a site to run an online recovery pass: drain the persist
+// pipeline, then resolve any journal in-doubt transactions with the
+// termination protocol. (Document catch-up is a restart-only step — a
+// serving site's in-memory state is already authoritative.)
+type RecoverReq struct{}
+
+// RecoverResp summarises the recovery pass.
+type RecoverResp struct {
+	Resolved int
+	Report   string
+	Error    string
+}
+
 func init() {
 	gob.Register(ExecOpReq{})
 	gob.Register(ExecOpResp{})
@@ -121,4 +204,13 @@ func init() {
 	gob.Register(WakeReq{})
 	gob.Register(SubmitReq{})
 	gob.Register(SubmitResp{})
+	gob.Register(PingReq{})
+	gob.Register(TxnStatusReq{})
+	gob.Register(TxnStatusResp{})
+	gob.Register(FetchDocReq{})
+	gob.Register(FetchDocResp{})
+	gob.Register(SiteStatusReq{})
+	gob.Register(SiteStatusResp{})
+	gob.Register(RecoverReq{})
+	gob.Register(RecoverResp{})
 }

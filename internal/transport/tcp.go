@@ -164,8 +164,11 @@ func (n *TCPNode) serveConn(conn net.Conn) {
 }
 
 // client returns the live multiplexed connection to a peer, dialling a new
-// one if none exists or the cached one has died.
-func (n *TCPNode) client(to int) (*clientConn, error) {
+// one if none exists or the cached one has died. The dial honours the
+// caller's context: a bounded exchange (a heartbeat ping, a recovery poll)
+// must not block for the kernel's connect timeout against a blackholed
+// peer.
+func (n *TCPNode) client(ctx context.Context, to int) (*clientConn, error) {
 	n.mu.Lock()
 	if c := n.conns[to]; c != nil {
 		select {
@@ -183,7 +186,8 @@ func (n *TCPNode) client(to int) (*clientConn, error) {
 	}
 	n.mu.Unlock()
 
-	conn, err := net.Dial("tcp", addr)
+	var dialer net.Dialer
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial site %d: %w", to, err)
 	}
@@ -318,7 +322,7 @@ func (n *TCPNode) Send(ctx context.Context, to int, msg any) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("transport: send to site %d: %w", to, context.Cause(ctx))
 	}
-	c, err := n.client(to)
+	c, err := n.client(ctx, to)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -82,6 +83,7 @@ type memNode struct {
 	net     *Network
 	id      int
 	handler Handler
+	closed  atomic.Bool
 }
 
 func (m *memNode) SiteID() int { return m.id }
@@ -89,9 +91,15 @@ func (m *memNode) SiteID() int { return m.id }
 // Send runs the peer's handler in the caller's goroutine, so sends from
 // many goroutines are exactly as concurrent as the TCP transport's
 // multiplexed exchanges — there is no per-peer serialisation to model.
+// A closed endpoint refuses to send: a crashed site's leftover goroutines
+// must not keep reaching the network, or in-process crash tests would
+// exercise a cleanup path no real crash has.
 func (m *memNode) Send(ctx context.Context, to int, msg any) (any, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if m.closed.Load() {
+		return nil, fmt.Errorf("transport: site %d endpoint closed: %w", m.id, ErrPeerClosed)
 	}
 	m.net.mu.RLock()
 	peer := m.net.nodes[to]
@@ -128,6 +136,7 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 func (m *memNode) Close() error {
+	m.closed.Store(true)
 	m.net.mu.Lock()
 	delete(m.net.nodes, m.id)
 	m.net.mu.Unlock()

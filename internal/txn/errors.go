@@ -21,24 +21,31 @@ import (
 //   - ErrSiteOutOfRange: a site index does not exist in the cluster.
 //   - ErrTxnDone: a step arrived after the transaction already committed or
 //     rolled back.
+//   - ErrReplicaUnavailable: an operation needed a replica at a site that is
+//     currently down or suspected down. Reads route around dead replicas
+//     automatically, so this surfaces when NO replica of a document is
+//     believed alive, or when a write would touch a partially-down replica
+//     set (a write must reach every copy, so it fails fast instead).
 var (
-	ErrAborted         = errors.New("dtx: transaction aborted")
-	ErrDeadlock        = fmt.Errorf("%w (deadlock victim)", ErrAborted)
-	ErrFailed          = errors.New("dtx: transaction failed")
-	ErrUnknownDocument = errors.New("dtx: unknown document")
-	ErrSiteOutOfRange  = errors.New("dtx: site out of range")
-	ErrTxnDone         = errors.New("dtx: transaction already finished")
+	ErrAborted            = errors.New("dtx: transaction aborted")
+	ErrDeadlock           = fmt.Errorf("%w (deadlock victim)", ErrAborted)
+	ErrFailed             = errors.New("dtx: transaction failed")
+	ErrUnknownDocument    = errors.New("dtx: unknown document")
+	ErrSiteOutOfRange     = errors.New("dtx: site out of range")
+	ErrTxnDone            = errors.New("dtx: transaction already finished")
+	ErrReplicaUnavailable = errors.New("dtx: replica unavailable")
 )
 
 // Wire codes for the sentinels. Transport responses carry a code next to the
 // human-readable message so typed errors survive crossing site boundaries.
 const (
-	CodeNone            = ""
-	CodeAborted         = "aborted"
-	CodeDeadlock        = "deadlock"
-	CodeFailed          = "failed"
-	CodeUnknownDocument = "unknown-document"
-	CodeSiteOutOfRange  = "site-out-of-range"
+	CodeNone               = ""
+	CodeAborted            = "aborted"
+	CodeDeadlock           = "deadlock"
+	CodeFailed             = "failed"
+	CodeUnknownDocument    = "unknown-document"
+	CodeSiteOutOfRange     = "site-out-of-range"
+	CodeReplicaUnavailable = "replica-unavailable"
 )
 
 // ErrorCode maps an error to its wire code. Unclassified errors map to
@@ -56,6 +63,8 @@ func ErrorCode(err error) string {
 		return CodeAborted
 	case errors.Is(err, ErrSiteOutOfRange):
 		return CodeSiteOutOfRange
+	case errors.Is(err, ErrReplicaUnavailable):
+		return CodeReplicaUnavailable
 	default:
 		return CodeFailed
 	}
@@ -80,6 +89,8 @@ func FromCode(code, msg string) error {
 		base = ErrUnknownDocument
 	case CodeSiteOutOfRange:
 		base = ErrSiteOutOfRange
+	case CodeReplicaUnavailable:
+		base = ErrReplicaUnavailable
 	default:
 		base = ErrFailed
 	}

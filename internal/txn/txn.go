@@ -23,6 +23,16 @@ var Zero ID
 // String renders the ID as t<site>.<seq>.
 func (id ID) String() string { return fmt.Sprintf("t%d.%d", id.Site, id.Seq) }
 
+// ParseID is the inverse of String: it reads a t<site>.<seq> identifier, as
+// found in journal records, back into an ID.
+func ParseID(s string) (ID, error) {
+	var id ID
+	if _, err := fmt.Sscanf(s, "t%d.%d", &id.Site, &id.Seq); err != nil {
+		return Zero, fmt.Errorf("txn: bad transaction id %q", s)
+	}
+	return id, nil
+}
+
 // Less orders IDs for deterministic tie-breaking.
 func (id ID) Less(other ID) bool {
 	if id.Site != other.Site {

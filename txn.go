@@ -29,10 +29,10 @@ type Txn struct {
 // Begin opens an interactive transaction coordinated by the given site. The
 // context governs the whole transaction lifetime.
 func (c *Cluster) Begin(ctx context.Context, site int) (*Txn, error) {
-	if site < 0 || site >= len(c.sites) {
-		return nil, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.sites))
+	if site < 0 || site >= len(c.ids) {
+		return nil, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.ids))
 	}
-	sess, err := c.sites[site].Begin(ctx)
+	sess, err := c.site(site).Begin(ctx)
 	if err != nil {
 		return nil, err
 	}
