@@ -13,6 +13,7 @@ package dtx
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -170,6 +171,81 @@ func BenchmarkFigDocsScaling(b *testing.B) {
 			p.Latency = 0
 			p.OpDelay = 300 * time.Microsecond
 			runWorkload(b, p)
+		})
+	}
+}
+
+// BenchmarkSnapshotReadScaling — MVCC snapshot reads: read-only
+// transactions against one document while a writer continuously commits
+// updates to it. Because snapshot readers acquire no locks and add no
+// wait-for edges, read throughput must scale with the reader count
+// instead of serialising behind the writer's exclusive locks; any reader
+// abort (a snapshot reader can never be a deadlock victim) fails the
+// benchmark. Reported as reads/s alongside the per-read latency.
+func BenchmarkSnapshotReadScaling(b *testing.B) {
+	for _, readers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("readers=%d", readers), func(b *testing.B) {
+			cluster, err := New(Config{Sites: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			doc := benchDoc(b, 16<<10)
+			if err := cluster.LoadXML("x", doc.String()); err != nil {
+				b.Fatal(err)
+			}
+
+			stop := make(chan struct{})
+			writerDone := make(chan struct{})
+			go func() {
+				defer close(writerDone)
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					cluster.Submit(0, Change("x",
+						"/site/open_auctions/open_auction[1]/current",
+						fmt.Sprintf("%d.00", i)))
+				}
+			}()
+
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errs := make(chan error, readers)
+			for r := 0; r < readers; r++ {
+				n := b.N / readers
+				if r < b.N%readers {
+					n++
+				}
+				wg.Add(1)
+				go func(site, n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						res, err := cluster.SubmitReadOnly(site%2,
+							Query("x", "/site/people/person[1]/name"))
+						if err != nil {
+							errs <- err
+							return
+						}
+						if !res.Committed {
+							errs <- fmt.Errorf("snapshot read did not commit: %s", res.Reason)
+							return
+						}
+					}
+				}(r, n)
+			}
+			wg.Wait()
+			b.StopTimer()
+			close(stop)
+			<-writerDone
+			select {
+			case err := <-errs:
+				b.Fatal(err)
+			default:
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/s")
 		})
 	}
 }

@@ -11,6 +11,11 @@
 //	    -op "rename d1 //person[id='4']/name label" \
 //	    -op "transpose d2 //product[1] //product[2]"
 //
+// Read-only transactions (-ro) are served lock-free from committed document
+// versions (MVCC snapshot reads) and accept only query operations:
+//
+//	dtxctl -addr localhost:7070 -ro -op "query d1 //person/name"
+//
 // Operator commands (instead of -op):
 //
 //	dtxctl -addr localhost:7070 -status    # documents, liveness view, in-doubt txns
@@ -44,6 +49,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "overall transaction timeout (0 = none); on expiry the transaction is aborted and its locks released")
 	status := flag.Bool("status", false, "print the site's status (documents, liveness view, in-doubt transactions) and exit")
 	recoverPass := flag.Bool("recover", false, "run an online recovery pass on the site (drain + resolve journal in-doubt transactions) and exit")
+	readOnly := flag.Bool("ro", false, "submit as a read-only snapshot transaction: queries only, served lock-free from committed document versions")
 	var opSpecs stringList
 	flag.Var(&opSpecs, "op", "operation (repeatable): query|insert|remove|rename|change|transpose ...")
 	flag.Parse()
@@ -65,6 +71,15 @@ func main() {
 			fatal(err)
 		}
 		ops = append(ops, op)
+	}
+	if *readOnly {
+		// Refuse client-side: the site would refuse the same way, but before
+		// a round trip and with the offending spec named.
+		for i, op := range ops {
+			if op.Kind != txn.OpQuery {
+				fatal(fmt.Errorf("-ro transaction: op %d (%s) is not a query", i, opSpecs[i]))
+			}
+		}
 	}
 
 	// A client endpoint is a TCP node with an ephemeral port and a site ID
@@ -88,7 +103,7 @@ func main() {
 		return
 	}
 
-	resp, err := node.Send(ctx, 0, transport.SubmitReq{Ops: ops})
+	resp, err := node.Send(ctx, 0, transport.SubmitReq{Ops: ops, ReadOnly: *readOnly})
 	if err != nil {
 		fatal(err)
 	}

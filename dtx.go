@@ -114,6 +114,16 @@ type Config struct {
 	// HeartbeatMisses is the consecutive heartbeat misses before a site is
 	// declared down (default 3).
 	HeartbeatMisses int
+	// SnapshotVersions bounds each document's MVCC version chain — the
+	// committed versions retained per site to serve read-only transactions
+	// (BeginReadOnly / SubmitReadOnly). The bound applies to unpinned
+	// versions: a version pinned by a live reader is never retired under it.
+	// Zero selects the default (4).
+	SnapshotVersions int
+	// SnapshotRetention, when positive, additionally ages unpinned versions
+	// out of the chain once they have been superseded for this long, even
+	// while the chain is under SnapshotVersions.
+	SnapshotRetention time.Duration
 }
 
 // Cluster is a running DTX deployment.
@@ -232,6 +242,8 @@ func (c *Cluster) buildSite(i int, recovering bool) (*sched.Site, error) {
 		PersistDelay:      c.cfg.PersistDelay,
 		HeartbeatInterval: hb,
 		HeartbeatMisses:   c.cfg.HeartbeatMisses,
+		SnapshotVersions:  c.cfg.SnapshotVersions,
+		SnapshotRetention: c.cfg.SnapshotRetention,
 		Recovering:        recovering,
 	})
 	if err := site.AttachNetwork(c.network); err != nil {
@@ -586,6 +598,32 @@ func (c *Cluster) SubmitCtx(ctx context.Context, site int, ops ...Op) (*Result, 
 		inner[i] = op.inner
 	}
 	res, err := c.site(site).SubmitCtx(ctx, inner)
+	if err != nil {
+		return nil, err
+	}
+	return result(res), res.Err
+}
+
+// SubmitReadOnly runs the operations as one read-only transaction through
+// the MVCC snapshot-read path (see Cluster.BeginReadOnly): no locks, no
+// wait-for edges, every query served from a committed version at or below
+// the transaction's begin timestamp. Every operation must be a query —
+// anything else is refused up front with ErrReadOnly, before a transaction
+// exists.
+func (c *Cluster) SubmitReadOnly(site int, ops ...Op) (*Result, error) {
+	return c.SubmitReadOnlyCtx(context.Background(), site, ops...)
+}
+
+// SubmitReadOnlyCtx is SubmitReadOnly bound to a context.
+func (c *Cluster) SubmitReadOnlyCtx(ctx context.Context, site int, ops ...Op) (*Result, error) {
+	if site < 0 || site >= len(c.ids) {
+		return nil, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.ids))
+	}
+	inner := make([]txn.Operation, len(ops))
+	for i, op := range ops {
+		inner[i] = op.inner
+	}
+	res, err := c.site(site).SubmitReadOnlyCtx(ctx, inner)
 	if err != nil {
 		return nil, err
 	}

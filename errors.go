@@ -46,4 +46,14 @@ var (
 	// queueing behind a dead site. Retry once the site is restarted
 	// (RestartSite) or the failure detector readmits it.
 	ErrReplicaUnavailable = txn.ErrReplicaUnavailable
+	// ErrReadOnly: an update was attempted on a read-only transaction
+	// (BeginReadOnly / SubmitReadOnly). The refusal is non-terminal for an
+	// interactive Txn — it stays live and keeps serving snapshot reads.
+	ErrReadOnly = txn.ErrReadOnly
+	// ErrSnapshotUnavailable: a read-only transaction needed a committed
+	// version at or below its begin timestamp, but version GC already
+	// retired every candidate ("snapshot too old"). Wraps ErrAborted;
+	// resubmission starts a fresh snapshot and is safe — SubmitWithRetry
+	// retries this class alongside deadlock victims.
+	ErrSnapshotUnavailable = txn.ErrSnapshotUnavailable
 )

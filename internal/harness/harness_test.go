@@ -301,3 +301,78 @@ func TestCrashInjectionWorkload(t *testing.T) {
 		t.Fatalf("lost transactions: %+v", res)
 	}
 }
+
+// TestSnapshotReadersVsLockedReaders pits two workloads with the same
+// read/write balance against each other on one hot document: in A the
+// readers take the locking path (pure-query transactions still acquire
+// read locks and can deadlock with writers); in B the same share of
+// transactions goes through the MVCC snapshot path. Snapshot readers
+// must never abort — they hold no locks and add no wait-for edges, so
+// they cannot be deadlock victims — and total deadlock victims must not
+// exceed the locked run's.
+func TestSnapshotReadersVsLockedReaders(t *testing.T) {
+	base := Params{
+		Sites: 2, Clients: 8, TxPerClient: 4, OpsPerTx: 5,
+		UpdateOpPct: 100, BaseBytes: 16 << 10, Docs: 1,
+		Partial: false, Protocol: "xdgl", Seed: 11,
+		OpDelay: 300 * time.Microsecond,
+	}
+
+	locked := base
+	locked.UpdateTxPct = 50 // half the transactions are pure queries, on the locking path
+
+	snap := base
+	snap.UpdateTxPct = 100 // every locking transaction writes...
+	snap.ReadOnlyPct = 50  // ...because the read half rides the snapshot path
+
+	lockedRes, err := Run(locked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapRes, err := Run(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("locked:   %s", lockedRes)
+	t.Logf("snapshot: %s", snapRes)
+
+	if snapRes.ReadOnlyCommitted == 0 {
+		t.Fatal("no read-only transaction committed — snapshot path never exercised")
+	}
+	if snapRes.SnapshotReads == 0 {
+		t.Fatal("no snapshot reads recorded")
+	}
+	if snapRes.ReadOnlyAborted != 0 {
+		t.Fatalf("snapshot readers aborted %d times; lock-free readers cannot be deadlock victims",
+			snapRes.ReadOnlyAborted)
+	}
+	if snapRes.Deadlocks > lockedRes.Deadlocks {
+		t.Fatalf("snapshot run saw more deadlock victims (%d) than the locked run (%d)",
+			snapRes.Deadlocks, lockedRes.Deadlocks)
+	}
+}
+
+// TestSnapshotHotDocZipfWorkload smoke-tests the skewed-access knob
+// together with the read-only mix: the run must complete and account for
+// every transaction.
+func TestSnapshotHotDocZipfWorkload(t *testing.T) {
+	p := quickParams(func(p *Params) {
+		p.Docs = 4
+		p.HotDocZipf = 1.5
+		p.ReadOnlyPct = 50
+		p.UpdateTxPct = 80
+	})
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed+res.Aborted+res.Failed != res.Total {
+		t.Fatalf("accounting broken: %+v", res)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if res.ReadOnlyCommitted == 0 {
+		t.Fatal("no read-only transaction committed")
+	}
+}

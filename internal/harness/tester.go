@@ -35,6 +35,18 @@ type Params struct {
 	// inside an update transaction (the paper fixes this at 20%).
 	UpdateTxPct int
 	UpdateOpPct int
+	// ReadOnlyPct is the percentage of transactions submitted as read-only
+	// snapshot transactions (SubmitReadOnlyCtx): all-query, served from the
+	// MVCC version chains with no locks and no wait-for edges. The rest
+	// follow UpdateTxPct on the locking path. The extra random draw happens
+	// only when this knob is set, so zero preserves the exact workloads of
+	// earlier seeds.
+	ReadOnlyPct int
+	// HotDocZipf, when > 1, skews the per-operation document choice with a
+	// Zipf distribution (parameter s = HotDocZipf) over the document list,
+	// making document 0 the hot document — the contention dial for
+	// reader-versus-writer experiments. ≤ 1 keeps the uniform pick.
+	HotDocZipf float64
 	// BaseBytes is the generated database size in bytes (the paper's MB
 	// dial, scaled down: the in-process substrate keeps ratios, not
 	// absolute sizes).
@@ -161,6 +173,15 @@ type Result struct {
 	CommitTimes []time.Duration
 	// ThroughputTPS is committed transactions per wall-clock second.
 	ThroughputTPS float64
+	// ReadOnlyCommitted counts committed read-only snapshot transactions (a
+	// subset of Committed); ReadOnlyAborted the ones that did not commit.
+	ReadOnlyCommitted int
+	ReadOnlyAborted   int
+	// SnapshotReads and SnapshotPublishes aggregate the per-site MVCC
+	// counters: queries served from pinned versions, and version
+	// materialisations.
+	SnapshotReads     int64
+	SnapshotPublishes int64
 }
 
 // DocInfo describes one targetable document: its name and the workload
@@ -380,13 +401,33 @@ func RunOn(ctx context.Context, cluster *Cluster, p Params) *Result {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(p.Seed + int64(c)*7919))
 			site := cluster.Sites[c%len(cluster.Sites)]
+			// Zipf-skewed document choice (optional): the generator is per
+			// client and fed from the client's own seeded rng, so runs stay
+			// deterministic. rand.NewZipf requires s > 1.
+			var zipf *rand.Zipf
+			if p.HotDocZipf > 1 && len(cluster.Docs) > 1 {
+				zipf = rand.NewZipf(rng, p.HotDocZipf, 1, uint64(len(cluster.Docs)-1))
+			}
+			pick := func() DocInfo {
+				if zipf != nil {
+					return cluster.Docs[zipf.Uint64()]
+				}
+				return cluster.Docs[rng.Intn(len(cluster.Docs))]
+			}
 			for t := 0; t < p.TxPerClient; t++ {
 				if ctx.Err() != nil {
 					return
 				}
-				ops := buildTxn(p, cluster.Docs, rng, int64(c)*1000+int64(t))
+				readOnly := p.ReadOnlyPct > 0 && rng.Intn(100) < p.ReadOnlyPct
+				ops := buildTxn(p, readOnly, pick, rng, int64(c)*1000+int64(t))
 				t0 := time.Now()
-				r, err := site.SubmitCtx(ctx, ops)
+				var r *sched.Result
+				var err error
+				if readOnly {
+					r, err = site.SubmitReadOnlyCtx(ctx, ops)
+				} else {
+					r, err = site.SubmitCtx(ctx, ops)
+				}
 				lat := time.Since(t0)
 				mu.Lock()
 				if err != nil {
@@ -397,13 +438,22 @@ func RunOn(ctx context.Context, cluster *Cluster, p Params) *Result {
 				switch r.State {
 				case txn.Committed:
 					res.Committed++
+					if readOnly {
+						res.ReadOnlyCommitted++
+					}
 					res.CommitTimes = append(res.CommitTimes, time.Since(start))
 					latencies = append(latencies, lat)
 					res.MeanRespMs += float64(lat.Microseconds()) / 1000.0
 				case txn.Aborted:
 					res.Aborted++
+					if readOnly {
+						res.ReadOnlyAborted++
+					}
 				default:
 					res.Failed++
+					if readOnly {
+						res.ReadOnlyAborted++
+					}
 				}
 				mu.Unlock()
 			}
@@ -412,10 +462,12 @@ func RunOn(ctx context.Context, cluster *Cluster, p Params) *Result {
 	wg.Wait()
 	res.Wall = time.Since(start)
 
-	// Per-site stats: deadlock-victim aborts.
+	// Per-site stats: deadlock-victim aborts and MVCC snapshot counters.
 	for _, s := range cluster.Sites {
 		st := s.Stats()
 		res.Deadlocks += int(st.DeadlockAborts)
+		res.SnapshotReads += st.SnapshotReads
+		res.SnapshotPublishes += st.SnapshotPublishes
 	}
 	if res.Committed > 0 {
 		res.MeanRespMs /= float64(res.Committed)
@@ -441,12 +493,14 @@ func p95(latencies []time.Duration) float64 {
 
 // buildTxn assembles one client transaction per the workload percentages.
 // Each operation picks a document (fragment) and then a query or update
-// against a section that document actually holds.
-func buildTxn(p Params, docs []DocInfo, rng *rand.Rand, uniq int64) []txn.Operation {
-	isUpdateTxn := rng.Intn(100) < p.UpdateTxPct
+// against a section that document actually holds. A read-only transaction is
+// all queries; the update draw still happens so the rng stream stays aligned
+// across the read-only split.
+func buildTxn(p Params, readOnly bool, pick func() DocInfo, rng *rand.Rand, uniq int64) []txn.Operation {
+	isUpdateTxn := rng.Intn(100) < p.UpdateTxPct && !readOnly
 	ops := make([]txn.Operation, 0, p.OpsPerTx)
 	for i := 0; i < p.OpsPerTx; i++ {
-		doc := docs[rng.Intn(len(docs))]
+		doc := pick()
 		section := "people"
 		if len(doc.Sections) > 0 {
 			section = doc.Sections[rng.Intn(len(doc.Sections))]
@@ -463,8 +517,13 @@ func buildTxn(p Params, docs []DocInfo, rng *rand.Rand, uniq int64) []txn.Operat
 
 // String renders the result as one row of a paper-style table.
 func (r *Result) String() string {
-	return fmt.Sprintf("clients=%d sites=%d upd%%=%d base=%dKB partial=%v proto=%-7s | resp=%.2fms commits=%d aborts=%d deadlocks=%d tps=%.1f wall=%v",
+	row := fmt.Sprintf("clients=%d sites=%d upd%%=%d base=%dKB partial=%v proto=%-7s | resp=%.2fms commits=%d aborts=%d deadlocks=%d tps=%.1f wall=%v",
 		r.Params.Clients, r.Params.Sites, r.Params.UpdateTxPct, r.Params.BaseBytes>>10,
 		r.Params.Partial, r.Params.Protocol, r.MeanRespMs, r.Committed, r.Aborted,
 		r.Deadlocks, r.ThroughputTPS, r.Wall.Round(time.Millisecond))
+	if r.Params.ReadOnlyPct > 0 {
+		row += fmt.Sprintf(" ro=%d/%d snapreads=%d", r.ReadOnlyCommitted,
+			r.ReadOnlyCommitted+r.ReadOnlyAborted, r.SnapshotReads)
+	}
+	return row
 }

@@ -41,6 +41,32 @@ func (s *Site) Submit(ops []txn.Operation) (*Result, error) {
 // interactive transactions share one code path. Cancelling the context
 // aborts the transaction and releases its locks everywhere.
 func (s *Site) SubmitCtx(ctx context.Context, ops []txn.Operation) (*Result, error) {
+	return s.submitWith(ctx, ops, s.Begin)
+}
+
+// SubmitReadOnly runs a batch transaction through the MVCC snapshot-read
+// path: every operation must be a query (anything else is refused up front
+// with ErrReadOnly, before a transaction exists), no locks are taken, and the
+// reads observe committed versions at or below the transaction's begin
+// timestamp. See Site.BeginReadOnly for the semantics.
+func (s *Site) SubmitReadOnly(ops []txn.Operation) (*Result, error) {
+	return s.SubmitReadOnlyCtx(context.Background(), ops)
+}
+
+// SubmitReadOnlyCtx is SubmitReadOnly bound to a context.
+func (s *Site) SubmitReadOnlyCtx(ctx context.Context, ops []txn.Operation) (*Result, error) {
+	for i := range ops {
+		if ops[i].Kind != txn.OpQuery {
+			return nil, fmt.Errorf("%w: operation %d is not a query", txn.ErrReadOnly, i)
+		}
+	}
+	return s.submitWith(ctx, ops, s.BeginReadOnly)
+}
+
+// submitWith is the shared batch-submission driver: begin a session with the
+// given mode, step through the operations (auto-batching consecutive queries
+// when there is no client think time to model), commit, and report.
+func (s *Site) submitWith(ctx context.Context, ops []txn.Operation, begin func(context.Context) (*Session, error)) (*Result, error) {
 	if len(ops) == 0 {
 		return nil, fmt.Errorf("sched: empty transaction")
 	}
@@ -49,7 +75,7 @@ func (s *Site) SubmitCtx(ctx context.Context, ops []txn.Operation) (*Result, err
 			return nil, err
 		}
 	}
-	sess, err := s.Begin(ctx)
+	sess, err := begin(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -179,6 +205,12 @@ func (s *Site) execOp(ctx context.Context, ct *coordTxn, opIdx int) error {
 			// survivors (the loop re-filters the replica set by liveness).
 			continue
 		case res.failed:
+			if res.code == txn.CodeAborted && ctx.Err() != nil {
+				// A send abandoned by cancellation classified the failure as
+				// an abort; keep the actual cause in the chain instead of the
+				// stringified transport error.
+				return fmt.Errorf("%w: %w", txn.ErrAborted, context.Cause(ctx))
+			}
 			msg := res.err
 			if msg == "" {
 				msg = "operation failed"
@@ -216,14 +248,15 @@ func (s *Site) execOp(ctx context.Context, ct *coordTxn, opIdx int) error {
 
 // execOps runs n consecutive operations of the transaction, starting at
 // base, concurrently — the batched read-only path. Each operation goes
-// through the full execOp machinery (per-site fan-out, wait mode, victim
-// signals) under a context that the first failing sibling cancels, so a
-// doomed batch stops burning retries. The returned error is the batch's
-// root cause: a typed terminal error from the operation that failed, in
-// preference to the ErrAborted wrappers its cancelled siblings report.
-func (s *Site) execOps(ctx context.Context, ct *coordTxn, base, n int) error {
+// through the full machinery of the given executor (execOp with its per-site
+// fan-out, wait mode and victim signals, or execSnapshotOp's pin-and-read)
+// under a context that the first failing sibling cancels, so a doomed batch
+// stops burning retries. The returned error is the batch's root cause: a
+// typed terminal error from the operation that failed, in preference to the
+// ErrAborted wrappers its cancelled siblings report.
+func (s *Site) execOps(ctx context.Context, ct *coordTxn, base, n int, exec func(context.Context, *coordTxn, int) error) error {
 	if n == 1 {
-		return s.execOp(ctx, ct, base)
+		return exec(ctx, ct, base)
 	}
 	bctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
@@ -233,7 +266,7 @@ func (s *Site) execOps(ctx context.Context, ct *coordTxn, base, n int) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := s.execOp(bctx, ct, base+i); err != nil {
+			if err := exec(bctx, ct, base+i); err != nil {
 				errs[i] = err
 				cancel(err)
 			}

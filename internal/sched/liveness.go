@@ -245,6 +245,21 @@ func (s *Site) abortOrphans(coordSite int) {
 		for _, id := range orphans {
 			s.resolveOrphan(id)
 		}
+		// Snapshot pins whose coordinator is down are released outright: a
+		// read-only transaction has no outcome to resolve — no effects, no
+		// locks, nothing to diverge — and its SnapshotReleaseReq died with
+		// the coordinator. Releasing frees the pinned versions for GC.
+		s.roMu.Lock()
+		var roOrphans []txn.ID
+		for id, set := range s.roPins {
+			if set.coordinator == coordSite {
+				roOrphans = append(roOrphans, id)
+			}
+		}
+		s.roMu.Unlock()
+		for _, id := range roOrphans {
+			s.snapshotRelease(id)
+		}
 	}()
 }
 
@@ -278,6 +293,27 @@ func (s *Site) sweepOrphans() {
 			_ = s.commitLocal(id)
 		case transport.OutcomeAborted:
 			_ = s.abortLocal(id)
+		}
+	}
+
+	// Aged snapshot pin sets get the same backstop: a coordinator that died
+	// (or was replaced) without its release reaching this site would pin a
+	// version — and block its GC — forever. A coordinator that still reports
+	// the transaction active (a genuinely long reader) keeps its pins.
+	s.roMu.Lock()
+	var roStale []txn.ID
+	for id, set := range s.roPins {
+		if set.created.Before(cutoff) {
+			roStale = append(roStale, id)
+		}
+	}
+	s.roMu.Unlock()
+	for _, id := range roStale {
+		ctx, cancel := context.WithTimeout(s.ctx, 2*time.Second)
+		outcome := s.resolveOutcome(ctx, id)
+		cancel()
+		if outcome != transport.OutcomeActive {
+			s.snapshotRelease(id)
 		}
 	}
 }

@@ -178,6 +178,18 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 		out.results = xpath.EvalStrings(q, ds.doc)
 		out.executed = true
 	case txn.OpUpdate:
+		// Copy-on-first-write materialisation: the first update on a clean
+		// document whose version chain lags its commit clock snapshots the
+		// committed tree BEFORE mutating it — the last clean point until this
+		// writer (and any it overlaps with) consolidates. Commit itself stays
+		// O(1): it only advances the chain's commit clock (commitLocal), and
+		// whoever next needs the committed tree — this branch, or a snapshot
+		// reader at a clean point — pays for the copy.
+		if len(ds.dirty) == 0 && ds.versions.Stale() {
+			if ds.versions.Publish(ds.doc.Snapshot(), ds.versions.CommitTS()) {
+				atomic.AddInt64(&s.stats.SnapshotPublishes, 1)
+			}
+		}
 		rec, _, aerr := xupdate.Apply(op.Update, ds.doc, ds.guide)
 		if aerr != nil {
 			// The update itself failed (not a lock problem): Algorithm 2
@@ -463,6 +475,19 @@ func (s *Site) commitLocal(id txn.ID) error {
 			_ = s.cfg.Journal.LogAbort(id.String())
 		}
 		return fmt.Errorf("sched: site %d: %s aborted during consolidation", s.id, id)
+	}
+	// Stamp the consolidation on each touched document's version chain —
+	// O(1) commit publication: only the chain's commit clock advances here;
+	// the committed tree is materialised lazily, by the next writer's first
+	// update at a clean point or by a snapshot reader (pinDocVersion). One
+	// clock tick stamps the whole local consolidation.
+	if len(toPersist) > 0 {
+		s.mu.Lock()
+		cts := s.clock.Tick()
+		s.mu.Unlock()
+		for _, ds := range toPersist {
+			ds.versions.Advance(cts)
+		}
 	}
 	for _, ds := range toPersist {
 		ds.mu.Lock()

@@ -23,9 +23,10 @@ import (
 // goroutine drives it. Cancellation and deadlock-victim signals arrive from
 // other goroutines and are serialised internally.
 type Session struct {
-	site *Site
-	ctx  context.Context
-	ct   *coordTxn
+	site     *Site
+	ctx      context.Context
+	ct       *coordTxn
+	readOnly bool // immutable after begin: steps go through the MVCC snapshot path
 
 	mu     sync.Mutex
 	inStep bool
@@ -39,6 +40,22 @@ type Session struct {
 // transaction is aborted (Algorithm 6) and every lock it holds anywhere in
 // the cluster is released.
 func (s *Site) Begin(ctx context.Context) (*Session, error) {
+	return s.begin(ctx, false)
+}
+
+// BeginReadOnly opens an interactive read-only transaction with this site as
+// coordinator. Its begin timestamp (the Lamport timestamp every transaction
+// resolves at begin) doubles as the snapshot timestamp: each query pins and
+// reads the newest committed version of its document at or below it, taking
+// no locks and adding no wait-for edges, so read-only transactions can never
+// deadlock with writers or be chosen as deadlock victims. Updates are refused
+// with ErrReadOnly (non-terminal — the session stays live); Commit is the
+// trivially vacuous release of the pinned versions.
+func (s *Site) BeginReadOnly(ctx context.Context) (*Session, error) {
+	return s.begin(ctx, true)
+}
+
+func (s *Site) begin(ctx context.Context, readOnly bool) (*Session, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -55,13 +72,26 @@ func (s *Site) Begin(ctx context.Context) (*Session, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %w", txn.ErrAborted, context.Cause(ctx))
 	}
-	sess := &Session{site: s, ctx: ctx, ct: s.beginTxn()}
+	sess := &Session{site: s, ctx: ctx, ct: s.beginTxn(), readOnly: readOnly}
 	go sess.watch()
 	return sess, nil
 }
 
 // ID returns the transaction identifier.
 func (sess *Session) ID() txn.ID { return sess.ct.t.ID }
+
+// ReadOnly reports whether the session was opened with BeginReadOnly.
+func (sess *Session) ReadOnly() bool { return sess.readOnly }
+
+// step returns the executor for one operation of this session: the locking
+// execOp for read-write transactions, the pin-and-read snapshot path for
+// read-only ones.
+func (sess *Session) step() func(context.Context, *coordTxn, int) error {
+	if sess.readOnly {
+		return sess.site.execSnapshotOp
+	}
+	return sess.site.execOp
+}
 
 // Done reports whether the transaction has reached a terminal state.
 func (sess *Session) Done() bool {
@@ -141,6 +171,12 @@ func (sess *Session) Exec(op txn.Operation) ([]string, error) {
 		return nil, fmt.Errorf("sched: %s: concurrent step on one transaction", sess.ct.t.ID)
 	}
 	opIdx := len(sess.ct.t.Ops)
+	if sess.readOnly && op.Kind != txn.OpQuery {
+		// Non-terminal refusal, before the operation is recorded: the
+		// transaction stays live and keeps serving snapshot reads.
+		sess.mu.Unlock()
+		return nil, fmt.Errorf("%w: operation %d is an update", txn.ErrReadOnly, opIdx)
+	}
 	if err := validateOp(opIdx, op); err != nil {
 		sess.mu.Unlock()
 		return nil, err
@@ -156,7 +192,7 @@ func (sess *Session) Exec(op txn.Operation) ([]string, error) {
 	sess.inStep = true
 	sess.mu.Unlock()
 
-	stepErr := sess.site.execOp(sess.ctx, sess.ct, opIdx)
+	stepErr := sess.step()(sess.ctx, sess.ct, opIdx)
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -222,7 +258,7 @@ func (sess *Session) ExecBatch(ops []txn.Operation) ([][]string, error) {
 	sess.inStep = true
 	sess.mu.Unlock()
 
-	stepErr := sess.site.execOps(sess.ctx, sess.ct, base, len(ops))
+	stepErr := sess.site.execOps(sess.ctx, sess.ct, base, len(ops), sess.step())
 
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
@@ -262,6 +298,14 @@ func (sess *Session) Commit() error {
 		sess.terminateLocked(ierr)
 		return sess.err
 	}
+	if sess.readOnly {
+		// Trivially vacuous commit: a read-only transaction has no effects
+		// anywhere — no 2PC round, no decision record; just release the
+		// pinned versions, local and remote.
+		sess.site.releaseReadOnly(sess.ct)
+		sess.finishLocked(txn.Committed, nil)
+		return nil
+	}
 	if sess.site.commitTransaction(sess.ct) {
 		sess.finishLocked(txn.Committed, nil)
 		return nil
@@ -285,6 +329,11 @@ func (sess *Session) Abort() error {
 	}
 	if sess.inStep {
 		return fmt.Errorf("sched: %s: abort while a step is in flight", sess.ct.t.ID)
+	}
+	if sess.readOnly {
+		sess.site.releaseReadOnly(sess.ct)
+		sess.finishLocked(txn.Aborted, fmt.Errorf("%w: rolled back by the client", txn.ErrAborted))
+		return nil
 	}
 	if sess.site.abortTransaction(sess.ct) {
 		sess.finishLocked(txn.Aborted, fmt.Errorf("%w: rolled back by the client", txn.ErrAborted))
@@ -318,6 +367,17 @@ func (sess *Session) Result() *Result {
 // cancel (Algorithm 6, l. 5–10). Callers hold sess.mu.
 func (sess *Session) terminateLocked(cause error) {
 	s := sess.site
+	if sess.readOnly {
+		// Nothing to undo and no locks to release anywhere: terminating a
+		// read-only transaction is pin release, never a failure broadcast.
+		s.releaseReadOnly(sess.ct)
+		if errors.Is(cause, txn.ErrFailed) || errors.Is(cause, txn.ErrUnknownDocument) {
+			sess.finishLocked(txn.Failed, cause)
+		} else {
+			sess.finishLocked(txn.Aborted, cause)
+		}
+		return
+	}
 	switch {
 	case errors.Is(cause, txn.ErrFailed) || errors.Is(cause, txn.ErrUnknownDocument):
 		s.failTransaction(sess.ct)

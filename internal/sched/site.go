@@ -21,7 +21,10 @@
 //
 // Lock ordering: a docState mutex may be held while taking site.mu or a
 // partTxn mutex; neither may be held while taking a docState mutex. The
-// partTxn mutex is a leaf.
+// partTxn mutex is a leaf. The snapshot-read registry (roMu) may be held
+// while taking site.mu; an roPinSet mutex may be held while taking a
+// docState mutex; nothing takes roMu while holding site.mu or a docState
+// mutex. An mvcc.Chain mutex is a leaf below everything.
 package sched
 
 import (
@@ -35,6 +38,7 @@ import (
 
 	"repro/internal/dataguide"
 	"repro/internal/lock"
+	"repro/internal/mvcc"
 	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -101,6 +105,15 @@ type Config struct {
 	// HeartbeatMisses is the consecutive-miss threshold before a Suspect
 	// peer is declared Down (default 3).
 	HeartbeatMisses int
+	// SnapshotVersions bounds how many unpinned committed versions each
+	// document's MVCC chain retains for read-only transactions (default
+	// mvcc.DefaultMaxVersions). Versions pinned by live readers are always
+	// kept; a reader whose begin timestamp falls below every retained
+	// version is aborted with ErrSnapshotUnavailable.
+	SnapshotVersions int
+	// SnapshotRetention, when positive, additionally retires unpinned old
+	// versions past this age even while the chain is under SnapshotVersions.
+	SnapshotRetention time.Duration
 	// Recovering starts the site in recovering state: it answers heartbeats
 	// not-ready and refuses operations until FinishRecovery, so peers keep
 	// routing around it while internal/recovery replays the journal and
@@ -196,6 +209,8 @@ type Stats struct {
 	RemoteOpsProcessed int64
 	LocksAcquired      int64
 	PersistErrors      int64 // background persist failures (see persist.go)
+	SnapshotReads      int64 // queries served from MVCC versions, lock-free
+	SnapshotPublishes  int64 // committed versions materialised into a chain
 }
 
 // docState bundles the in-memory representation of one document at a site:
@@ -217,6 +232,15 @@ type docState struct {
 	table *lock.Table
 	graph *wfg.Graph
 	dirty map[txn.ID]bool // transactions with unpersisted changes
+
+	// versions is the document's MVCC chain: committed immutable snapshots
+	// that read-only transactions pin and query without entering the lock
+	// table or the wait-for graph (snapshot.go). Commits advance the chain's
+	// commit timestamp in O(1); materialisation of a fresh version is
+	// deferred to the next clean point — a reader needing it, or the next
+	// writer's first change (processOperation). The chain has its own leaf
+	// mutex, so it is safe to touch with or without ds.mu held.
+	versions *mvcc.Chain
 
 	// Persist pipeline (persist.go). Commits bump persistPending under mu;
 	// a single on-demand worker snapshots and writes the document once per
@@ -312,11 +336,25 @@ func (pt *partTxn) takeAllUndo() map[int][]undoEntry {
 type coordTxn struct {
 	t        *txn.Transaction
 	abortCh  chan string
-	mu       sync.Mutex    // guards sites and wake
+	mu       sync.Mutex    // guards sites, wake and roDocSites
 	sites    map[int]bool  // sites that received at least one operation
 	wake     chan struct{} // closed to broadcast a wake-up, then replaced
 	results  [][]string
 	finished chan struct{} // closed once the transaction reaches a terminal state
+
+	// roDocSites tracks, for a read-only transaction, which site each
+	// document's reads are bound to — reads of one document must stick to
+	// one site or repeatable reads break (snapshot.go). A binding is claimed
+	// BEFORE the first read is dispatched, so concurrent batched reads of
+	// one document agree on the site, and a terminal release reaches every
+	// site that may hold a pin.
+	roDocSites map[string]roRoute
+}
+
+// roRoute is one document's read-routing binding of a read-only transaction.
+type roRoute struct {
+	site   int
+	pinned bool // a read succeeded there: the site holds the version pin
 }
 
 // addSite records a site as involved in the transaction.
@@ -339,6 +377,77 @@ func (ct *coordTxn) remoteSites(self int) []int {
 		}
 	}
 	return sites
+}
+
+// roSiteFor returns the document's read-routing binding, if one exists.
+func (ct *coordTxn) roSiteFor(doc string) (roRoute, bool) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	route, ok := ct.roDocSites[doc]
+	return route, ok
+}
+
+// claimRoSite binds the document's reads to candidate unless another
+// goroutine bound it first, and returns the winning binding.
+func (ct *coordTxn) claimRoSite(doc string, candidate int) roRoute {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.roDocSites == nil {
+		ct.roDocSites = make(map[string]roRoute)
+	}
+	if route, ok := ct.roDocSites[doc]; ok {
+		return route
+	}
+	route := roRoute{site: candidate}
+	ct.roDocSites[doc] = route
+	return route
+}
+
+// markRoPinned records that a read succeeded at the document's bound site:
+// the version is pinned there and the binding must never move again.
+func (ct *coordTxn) markRoPinned(doc string, site int) {
+	ct.mu.Lock()
+	if route, ok := ct.roDocSites[doc]; ok && route.site == site {
+		route.pinned = true
+		ct.roDocSites[doc] = route
+	}
+	ct.mu.Unlock()
+}
+
+// rebindRoSite drops a binding whose site died before any read of the
+// document succeeded there, so the next routing pass can pick a survivor.
+// Returns false — and leaves the binding — when a concurrent sibling's read
+// DID succeed at that site: the pin exists, the snapshot died with the
+// site, and rerouting would serve a different version of the document.
+func (ct *coordTxn) rebindRoSite(doc string, site int) bool {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	route, ok := ct.roDocSites[doc]
+	if !ok || route.site != site {
+		return true // a sibling already rebound it
+	}
+	if route.pinned {
+		return false
+	}
+	delete(ct.roDocSites, doc)
+	return true
+}
+
+// roRemoteSites snapshots the distinct remote sites that may hold pins for
+// a read-only transaction (every bound site, pinned or merely claimed — a
+// claim whose read errored mid-flight may still have pinned).
+func (ct *coordTxn) roRemoteSites(self int) []int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	seen := make(map[int]bool, len(ct.roDocSites))
+	var out []int
+	for _, route := range ct.roDocSites {
+		if route.site != self && !seen[route.site] {
+			seen[route.site] = true
+			out = append(out, route.site)
+		}
+	}
+	return out
 }
 
 // wakeChan returns the channel a wait-mode goroutine should select on. It
@@ -397,6 +506,12 @@ type Site struct {
 	finished     map[txn.ID]bool
 	finishedRing []txn.ID
 	finishedIdx  int
+
+	// roMu guards the roPins registry map only — the per-transaction pin
+	// sets carry their own mutex (snapshot.go), so the registry lock is
+	// never held across version pinning or query evaluation.
+	roMu   sync.Mutex
+	roPins map[txn.ID]*roPinSet
 
 	// docsMu guards the docs map itself (installation of new documents);
 	// docStates are never removed, so a looked-up pointer stays valid.
@@ -464,6 +579,7 @@ func New(cfg Config) *Site {
 		coord:        make(map[txn.ID]*coordTxn),
 		part:         make(map[txn.ID]*partTxn),
 		coordOf:      make(map[txn.ID]int),
+		roPins:       make(map[txn.ID]*roPinSet),
 		finished:     make(map[txn.ID]bool),
 		finishedRing: make([]txn.ID, 4096),
 		queries:      xpath.NewCache(4096),
@@ -681,6 +797,30 @@ func (s *Site) Stats() Stats {
 		RemoteOpsProcessed: atomic.LoadInt64(&s.stats.RemoteOpsProcessed),
 		LocksAcquired:      atomic.LoadInt64(&s.stats.LocksAcquired),
 		PersistErrors:      atomic.LoadInt64(&s.stats.PersistErrors),
+		SnapshotReads:      atomic.LoadInt64(&s.stats.SnapshotReads),
+		SnapshotPublishes:  atomic.LoadInt64(&s.stats.SnapshotPublishes),
+	}
+}
+
+// newDocState builds the scheduling domain of a freshly installed document,
+// seeding its MVCC chain with an initial committed version at timestamp 0:
+// the as-installed state is committed by definition, and the floor version
+// lets a reader that begins before the first local commit pin something.
+// After a restart this makes versions survive trivially — the chain reseeds
+// from the latest persisted state the Store (or catch-up) hands back.
+func (s *Site) newDocState(doc *xmltree.Document, g *dataguide.DataGuide) *docState {
+	ch := mvcc.NewChain(mvcc.Options{
+		MaxVersions: s.cfg.SnapshotVersions,
+		Retention:   s.cfg.SnapshotRetention,
+	})
+	ch.Publish(doc.Snapshot(), 0)
+	return &docState{
+		doc:      doc,
+		guide:    g,
+		table:    lock.NewTable(g),
+		graph:    wfg.New(),
+		dirty:    make(map[txn.ID]bool),
+		versions: ch,
 	}
 }
 
@@ -690,15 +830,9 @@ func (s *Site) AddDocument(doc *xmltree.Document) error {
 	if err := s.cfg.Store.Save(doc); err != nil {
 		return err
 	}
-	g := dataguide.Build(doc)
+	ds := s.newDocState(doc, dataguide.Build(doc))
 	s.docsMu.Lock()
-	s.docs[doc.Name] = &docState{
-		doc:   doc,
-		guide: g,
-		table: lock.NewTable(g),
-		graph: wfg.New(),
-		dirty: make(map[txn.ID]bool),
-	}
+	s.docs[doc.Name] = ds
 	s.docsMu.Unlock()
 	if !s.cfg.Catalog.Holds(doc.Name, s.id) {
 		sites := append(s.cfg.Catalog.Sites(doc.Name), s.id)
@@ -715,15 +849,9 @@ func (s *Site) LoadDocument(name string) error {
 	if err != nil {
 		return err
 	}
-	g := dataguide.Build(doc)
+	ds := s.newDocState(doc, dataguide.Build(doc))
 	s.docsMu.Lock()
-	s.docs[name] = &docState{
-		doc:   doc,
-		guide: g,
-		table: lock.NewTable(g),
-		graph: wfg.New(),
-		dirty: make(map[txn.ID]bool),
-	}
+	s.docs[name] = ds
 	s.docsMu.Unlock()
 	if !s.cfg.Catalog.Holds(name, s.id) {
 		s.cfg.Catalog.Place(name, append(s.cfg.Catalog.Sites(name), s.id)...)
@@ -853,6 +981,16 @@ func (s *Site) HandleMessage(from int, msg any) (any, error) {
 				Error: fmt.Sprintf("site %d is recovering", s.id)}, nil
 		}
 		return s.handleExecOp(m), nil
+	case transport.SnapshotReadReq:
+		if !s.Ready() {
+			return transport.SnapshotReadResp{Site: s.id, Failed: true,
+				Code:  txn.CodeReplicaUnavailable,
+				Error: fmt.Sprintf("site %d is recovering", s.id)}, nil
+		}
+		return s.handleSnapshotRead(m), nil
+	case transport.SnapshotReleaseReq:
+		s.snapshotRelease(m.Txn)
+		return transport.Ack{OK: true}, nil
 	case transport.PingReq:
 		return transport.Ack{OK: s.Ready()}, nil
 	case transport.TxnStatusReq:
@@ -904,7 +1042,13 @@ func (s *Site) HandleMessage(from int, msg any) (any, error) {
 		s.signalWake(m.Txn)
 		return transport.Ack{OK: true}, nil
 	case transport.SubmitReq:
-		res, err := s.Submit(m.Ops)
+		var res *Result
+		var err error
+		if m.ReadOnly {
+			res, err = s.SubmitReadOnly(m.Ops)
+		} else {
+			res, err = s.Submit(m.Ops)
+		}
 		if err != nil {
 			return transport.SubmitResp{Error: err.Error()}, nil
 		}

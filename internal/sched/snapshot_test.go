@@ -1,0 +1,436 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/txn"
+	"repro/internal/xmltree"
+	"repro/internal/xupdate"
+)
+
+// TestSnapshotReadZeroLocks is the subsystem's core claim: a read-only
+// transaction acquires zero locks and adds zero wait-for edges, even while a
+// writer holds exclusive locks on the very document it reads.
+func TestSnapshotReadZeroLocks(t *testing.T) {
+	sites, _ := newCluster(t, 1, nil)
+	s := sites[0]
+	addDoc(t, s, "d1", peopleXML)
+
+	// Writer takes X locks on /people and stays open.
+	writer, err := s.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Exec(txn.NewUpdate("d1", &xupdate.Update{
+		Kind: xupdate.Insert, Target: "/people", Pos: xmltree.Into,
+		New: personSpec("9", "Carla"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	locksBefore := s.Stats().LocksAcquired
+
+	reader, err := s.BeginReadOnly(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reader.ReadOnly() {
+		t.Fatal("BeginReadOnly session does not report ReadOnly")
+	}
+	names, err := reader.Exec(txn.NewQuery("d1", "//person/name"))
+	if err != nil {
+		t.Fatalf("snapshot read blocked or failed: %v", err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("snapshot read = %v, want the 2 committed names (writer's insert is uncommitted)", names)
+	}
+	if got := s.Stats().LocksAcquired; got != locksBefore {
+		t.Fatalf("read-only transaction acquired %d locks, want 0", got-locksBefore)
+	}
+	if edges := s.localEdges(); len(edges) != 0 {
+		t.Fatalf("read-only transaction left wait-for edges: %v", edges)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatalf("vacuous commit: %v", err)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotIsolationNeverMidTxn: a snapshot reader never observes a
+// writer's uncommitted state, and observes it promptly once committed.
+func TestSnapshotIsolationNeverMidTxn(t *testing.T) {
+	sites, _ := newCluster(t, 1, nil)
+	s := sites[0]
+	addDoc(t, s, "d1", peopleXML)
+
+	writer, err := s.Begin(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Exec(txn.NewUpdate("d1", &xupdate.Update{
+		Kind: xupdate.Insert, Target: "/people", Pos: xmltree.Into,
+		New: personSpec("9", "Carla"),
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-transaction: the insert must be invisible.
+	res, err := s.SubmitReadOnly([]txn.Operation{txn.NewQuery("d1", "//person/id")})
+	if err != nil || res.State != txn.Committed {
+		t.Fatalf("mid-txn snapshot read: %v %+v", err, res)
+	}
+	if len(res.Results[0]) != 2 {
+		t.Fatalf("mid-txn snapshot saw %v, want the 2 committed ids", res.Results[0])
+	}
+
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-commit: a fresh snapshot transaction sees the insert.
+	res, err = s.SubmitReadOnly([]txn.Operation{txn.NewQuery("d1", "//person/id")})
+	if err != nil || res.State != txn.Committed {
+		t.Fatalf("post-commit snapshot read: %v %+v", err, res)
+	}
+	if len(res.Results[0]) != 3 {
+		t.Fatalf("post-commit snapshot saw %v, want 3 ids", res.Results[0])
+	}
+}
+
+// TestSnapshotRepeatableRead: re-reading a document inside one read-only
+// transaction observes the same pinned version, across intervening commits.
+func TestSnapshotRepeatableRead(t *testing.T) {
+	sites, _ := newCluster(t, 1, nil)
+	s := sites[0]
+	addDoc(t, s, "d1", peopleXML)
+
+	reader, err := s.BeginReadOnly(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := reader.Exec(txn.NewQuery("d1", "//person/id"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A writer commits between the reader's two reads.
+	res, err := s.Submit([]txn.Operation{txn.NewUpdate("d1", &xupdate.Update{
+		Kind: xupdate.Insert, Target: "/people", Pos: xmltree.Into,
+		New: personSpec("9", "Carla"),
+	})})
+	if err != nil || res.State != txn.Committed {
+		t.Fatalf("writer: %v %+v", err, res)
+	}
+
+	second, err := reader.Exec(txn.NewQuery("d1", "//person/id"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("repeatable read broken: first %v, second %v", first, second)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotUpdateRefusedNonTerminal: an update on a read-only transaction
+// is refused with ErrReadOnly without terminating the session.
+func TestSnapshotUpdateRefusedNonTerminal(t *testing.T) {
+	sites, _ := newCluster(t, 1, nil)
+	s := sites[0]
+	addDoc(t, s, "d1", peopleXML)
+
+	reader, err := s.BeginReadOnly(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = reader.Exec(txn.NewUpdate("d1", &xupdate.Update{
+		Kind: xupdate.Insert, Target: "/people", Pos: xmltree.Into,
+		New: personSpec("9", "Carla"),
+	}))
+	if !errors.Is(err, txn.ErrReadOnly) {
+		t.Fatalf("update on read-only txn = %v, want ErrReadOnly", err)
+	}
+	if reader.Done() {
+		t.Fatal("ErrReadOnly refusal terminated the session")
+	}
+	if _, err := reader.Exec(txn.NewQuery("d1", "//person/id")); err != nil {
+		t.Fatalf("session dead after refusal: %v", err)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The batch submission path refuses before a transaction exists.
+	if _, err := s.SubmitReadOnly([]txn.Operation{txn.NewUpdate("d1", &xupdate.Update{
+		Kind: xupdate.Remove, Target: "//person",
+	})}); !errors.Is(err, txn.ErrReadOnly) {
+		t.Fatalf("SubmitReadOnly with update = %v, want ErrReadOnly", err)
+	}
+}
+
+// TestSnapshotVersionGCBounded: the per-document version chain stays bounded
+// while commits churn, even with a long-running reader pinning an old
+// version — the pin shields that version, not unbounded growth.
+func TestSnapshotVersionGCBounded(t *testing.T) {
+	const maxKeep = 3
+	sites, _ := newCluster(t, 1, func(cfg *Config) {
+		cfg.SnapshotVersions = maxKeep
+	})
+	s := sites[0]
+	addDoc(t, s, "d1", peopleXML)
+
+	// Long reader pins the initial version.
+	reader, err := s.BeginReadOnly(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := reader.Exec(txn.NewQuery("d1", "//person/id"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Churn: every write transaction advances the chain; each snapshot read
+	// in between forces materialisation so versions actually accumulate.
+	for i := 0; i < 20; i++ {
+		res, err := s.Submit([]txn.Operation{txn.NewUpdate("d1", &xupdate.Update{
+			Kind: xupdate.Insert, Target: "/people", Pos: xmltree.Into,
+			New: personSpec(fmt.Sprintf("g%d", i), "Churn"),
+		})})
+		if err != nil || res.State != txn.Committed {
+			t.Fatalf("churn writer %d: %v %+v", i, err, res)
+		}
+		if _, err := s.SubmitReadOnly([]txn.Operation{txn.NewQuery("d1", "//person/id")}); err != nil {
+			t.Fatalf("churn reader %d: %v", i, err)
+		}
+	}
+
+	ds := s.doc("d1")
+	if n := ds.versions.Len(); n > maxKeep+1 {
+		t.Fatalf("version chain grew to %d under a pinned long reader, want <= %d", n, maxKeep+1)
+	}
+	// The pinned version is still served, unchanged.
+	again, err := reader.Exec(txn.NewQuery("d1", "//person/id"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(first) {
+		t.Fatalf("long reader's pinned version changed: %v -> %v", first, again)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// With the pin gone, the next publish compacts the chain to the bound.
+	res, err := s.Submit([]txn.Operation{txn.NewUpdate("d1", &xupdate.Update{
+		Kind: xupdate.Insert, Target: "/people", Pos: xmltree.Into,
+		New: personSpec("last", "Churn"),
+	})})
+	if err != nil || res.State != txn.Committed {
+		t.Fatalf("final writer: %v %+v", err, res)
+	}
+	if _, err := s.SubmitReadOnly([]txn.Operation{txn.NewQuery("d1", "//person/id")}); err != nil {
+		t.Fatal(err)
+	}
+	if n := ds.versions.Len(); n > maxKeep {
+		t.Fatalf("version chain = %d after pin release, want <= %d", n, maxKeep)
+	}
+}
+
+// TestSnapshotUnavailableTooOld: a reader whose begin timestamp predates
+// every retained version fails with the typed ErrSnapshotUnavailable
+// ("snapshot too old"), which wraps ErrAborted so retry policies resubmit.
+func TestSnapshotUnavailableTooOld(t *testing.T) {
+	sites, _ := newCluster(t, 1, func(cfg *Config) {
+		cfg.SnapshotVersions = 1
+	})
+	s := sites[0]
+	addDoc(t, s, "d1", peopleXML)
+
+	// The reader resolves its begin timestamp now and waits.
+	reader, err := s.BeginReadOnly(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two write transactions: the second's copy-on-first-write publishes a
+	// version newer than the reader's timestamp, and MaxVersions=1 GC
+	// retires everything older.
+	for i := 0; i < 2; i++ {
+		res, err := s.Submit([]txn.Operation{txn.NewUpdate("d1", &xupdate.Update{
+			Kind: xupdate.Insert, Target: "/people", Pos: xmltree.Into,
+			New: personSpec(fmt.Sprintf("w%d", i), "Writer"),
+		})})
+		if err != nil || res.State != txn.Committed {
+			t.Fatalf("writer %d: %v %+v", i, err, res)
+		}
+	}
+
+	_, err = reader.Exec(txn.NewQuery("d1", "//person/id"))
+	if !errors.Is(err, txn.ErrSnapshotUnavailable) {
+		t.Fatalf("stale reader = %v, want ErrSnapshotUnavailable", err)
+	}
+	if !errors.Is(err, txn.ErrAborted) {
+		t.Fatalf("ErrSnapshotUnavailable must wrap ErrAborted, got %v", err)
+	}
+	if !reader.Done() {
+		t.Fatal("snapshot-unavailable reader not terminal")
+	}
+}
+
+// TestSnapshotReadRemote: a read-only transaction reads a document held only
+// at another site through the versioned-read transport request, and its
+// terminal release frees the pins there.
+func TestSnapshotReadRemote(t *testing.T) {
+	sites, _ := newCluster(t, 2, nil)
+	addDoc(t, sites[1], "d1", peopleXML)
+
+	reader, err := sites[0].BeginReadOnly(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := reader.Exec(txn.NewQuery("d1", "//person/id"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("remote snapshot read = %v, want 2 ids", ids)
+	}
+	sites[1].roMu.Lock()
+	pinned := len(sites[1].roPins)
+	sites[1].roMu.Unlock()
+	if pinned != 1 {
+		t.Fatalf("remote site holds %d pin sets mid-transaction, want 1", pinned)
+	}
+	if err := reader.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	sites[1].roMu.Lock()
+	pinned = len(sites[1].roPins)
+	sites[1].roMu.Unlock()
+	if pinned != 0 {
+		t.Fatalf("remote site still holds %d pin sets after commit", pinned)
+	}
+	if got := sites[1].Stats().SnapshotReads; got != 1 {
+		t.Fatalf("remote SnapshotReads = %d, want 1", got)
+	}
+}
+
+// TestSnapshotConcurrentReadersWriters races snapshot readers against
+// writers on one document — the publish/pin/retire interleavings the race
+// detector should sweep (this test runs under -race in CI's chaos job).
+func TestSnapshotConcurrentReadersWriters(t *testing.T) {
+	sites, _ := newCluster(t, 1, func(cfg *Config) {
+		cfg.SnapshotVersions = 2
+	})
+	s := sites[0]
+	addDoc(t, s, "d1", peopleXML)
+
+	const writers, readers, rounds = 2, 4, 15
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				res, err := s.Submit([]txn.Operation{txn.NewUpdate("d1", &xupdate.Update{
+					Kind: xupdate.Insert, Target: "/people", Pos: xmltree.Into,
+					New: personSpec(fmt.Sprintf("w%d-%d", w, i), "W"),
+				})})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if res.State != txn.Committed && !errors.Is(res.Err, txn.ErrAborted) {
+					errCh <- fmt.Errorf("writer %d round %d: %s (%s)", w, i, res.State, res.Reason)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				res, err := s.SubmitReadOnly([]txn.Operation{
+					txn.NewQuery("d1", "//person/id"),
+					txn.NewQuery("d1", "//person/name"),
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if res.State != txn.Committed {
+					// GC under MaxVersions=2 may retire a slow reader's
+					// snapshot; that typed outcome is legal here.
+					if errors.Is(res.Err, txn.ErrSnapshotUnavailable) {
+						continue
+					}
+					errCh <- fmt.Errorf("reader %d round %d: %s (%s)", r, i, res.State, res.Reason)
+					return
+				}
+				// Both queries of one transaction read the same pinned
+				// version: ids and names must agree in cardinality.
+				if len(res.Results[0]) != len(res.Results[1]) {
+					errCh <- fmt.Errorf("reader %d round %d: %d ids vs %d names from one snapshot",
+						r, i, len(res.Results[0]), len(res.Results[1]))
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+	// No reader was ever a deadlock victim.
+	if v := s.Stats().DeadlockAborts; v != 0 {
+		t.Fatalf("deadlock victims = %d in a snapshot-reader workload, want 0", v)
+	}
+}
+
+// TestSnapshotOrphanPinsSweep: pins left by a dead coordinator are released
+// by the orphan sweep so version GC is not blocked forever.
+func TestSnapshotOrphanPinsSweep(t *testing.T) {
+	sites, _ := newCluster(t, 2, func(cfg *Config) {
+		cfg.HeartbeatInterval = 10 * time.Millisecond
+		cfg.HeartbeatMisses = 2
+	})
+	addDoc(t, sites[1], "d1", peopleXML)
+
+	reader, err := sites[0].BeginReadOnly(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.Exec(txn.NewQuery("d1", "//person/id")); err != nil {
+		t.Fatal(err)
+	}
+	// Coordinator dies holding the remote pin; its release never arrives.
+	sites[0].Kill()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sites[1].roMu.Lock()
+		n := len(sites[1].roPins)
+		sites[1].roMu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("orphaned snapshot pins not swept: %d sets remain", n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -91,9 +91,13 @@ type VictimReq struct {
 type WakeReq struct{ Txn txn.ID }
 
 // SubmitReq carries a client transaction to a site's Listener (used by the
-// TCP transport; in-process clients call the site API directly).
+// TCP transport; in-process clients call the site API directly). ReadOnly
+// submits the transaction through the MVCC snapshot-read path: every
+// operation must be a query, no locks are taken, and the reads observe the
+// committed versions at or below the transaction's begin timestamp.
 type SubmitReq struct {
-	Ops []txn.Operation
+	Ops      []txn.Operation
+	ReadOnly bool
 }
 
 // SubmitResp reports the outcome of a client transaction. Code carries the
@@ -190,6 +194,37 @@ type RecoverResp struct {
 	Error    string
 }
 
+// SnapshotReadReq asks a site to evaluate one query of a read-only
+// transaction against the newest committed version of a document at or
+// below the transaction's begin timestamp TS. The receiver pins that
+// version for the transaction — repeated reads of the document observe the
+// same version — until a SnapshotReleaseReq (or the orphan sweep, if the
+// coordinator dies) releases the pins. No locks are taken and no wait-for
+// edges are added.
+type SnapshotReadReq struct {
+	Txn         txn.ID
+	TS          txn.TS
+	Coordinator int
+	Doc         string
+	Query       string
+}
+
+// SnapshotReadResp answers a SnapshotReadReq. VersionTS is the commit
+// timestamp of the version the query ran against.
+type SnapshotReadResp struct {
+	Site      int
+	Failed    bool
+	Code      string
+	Error     string
+	Results   []string
+	VersionTS txn.TS
+}
+
+// SnapshotReleaseReq tells a site that a read-only transaction finished:
+// every version it pinned there can be released. Fire-and-forget cleanup —
+// a lost release is recovered by the orphan sweep.
+type SnapshotReleaseReq struct{ Txn txn.ID }
+
 func init() {
 	gob.Register(ExecOpReq{})
 	gob.Register(ExecOpResp{})
@@ -213,4 +248,7 @@ func init() {
 	gob.Register(SiteStatusResp{})
 	gob.Register(RecoverReq{})
 	gob.Register(RecoverResp{})
+	gob.Register(SnapshotReadReq{})
+	gob.Register(SnapshotReadResp{})
+	gob.Register(SnapshotReleaseReq{})
 }

@@ -26,26 +26,38 @@ import (
 //     automatically, so this surfaces when NO replica of a document is
 //     believed alive, or when a write would touch a partially-down replica
 //     set (a write must reach every copy, so it fails fast instead).
+//   - ErrReadOnly: an update was attempted on a read-only transaction. The
+//     refusal is non-terminal: the transaction stays live and keeps serving
+//     snapshot reads.
+//   - ErrSnapshotUnavailable: a read-only transaction needed a committed
+//     version at or below its begin timestamp, but version GC already
+//     retired every candidate ("snapshot too old"). Wraps ErrAborted;
+//     resubmission starts a fresh snapshot and is safe, so retry policies
+//     treat it like a deadlock victim.
 var (
-	ErrAborted            = errors.New("dtx: transaction aborted")
-	ErrDeadlock           = fmt.Errorf("%w (deadlock victim)", ErrAborted)
-	ErrFailed             = errors.New("dtx: transaction failed")
-	ErrUnknownDocument    = errors.New("dtx: unknown document")
-	ErrSiteOutOfRange     = errors.New("dtx: site out of range")
-	ErrTxnDone            = errors.New("dtx: transaction already finished")
-	ErrReplicaUnavailable = errors.New("dtx: replica unavailable")
+	ErrAborted             = errors.New("dtx: transaction aborted")
+	ErrDeadlock            = fmt.Errorf("%w (deadlock victim)", ErrAborted)
+	ErrSnapshotUnavailable = fmt.Errorf("%w (snapshot unavailable)", ErrAborted)
+	ErrFailed              = errors.New("dtx: transaction failed")
+	ErrUnknownDocument     = errors.New("dtx: unknown document")
+	ErrSiteOutOfRange      = errors.New("dtx: site out of range")
+	ErrTxnDone             = errors.New("dtx: transaction already finished")
+	ErrReplicaUnavailable  = errors.New("dtx: replica unavailable")
+	ErrReadOnly            = errors.New("dtx: read-only transaction")
 )
 
 // Wire codes for the sentinels. Transport responses carry a code next to the
 // human-readable message so typed errors survive crossing site boundaries.
 const (
-	CodeNone               = ""
-	CodeAborted            = "aborted"
-	CodeDeadlock           = "deadlock"
-	CodeFailed             = "failed"
-	CodeUnknownDocument    = "unknown-document"
-	CodeSiteOutOfRange     = "site-out-of-range"
-	CodeReplicaUnavailable = "replica-unavailable"
+	CodeNone                = ""
+	CodeAborted             = "aborted"
+	CodeDeadlock            = "deadlock"
+	CodeFailed              = "failed"
+	CodeUnknownDocument     = "unknown-document"
+	CodeSiteOutOfRange      = "site-out-of-range"
+	CodeReplicaUnavailable  = "replica-unavailable"
+	CodeSnapshotUnavailable = "snapshot-unavailable"
+	CodeReadOnly            = "read-only"
 )
 
 // ErrorCode maps an error to its wire code. Unclassified errors map to
@@ -59,8 +71,12 @@ func ErrorCode(err error) string {
 		return CodeUnknownDocument
 	case errors.Is(err, ErrDeadlock):
 		return CodeDeadlock
+	case errors.Is(err, ErrSnapshotUnavailable):
+		return CodeSnapshotUnavailable
 	case errors.Is(err, ErrAborted):
 		return CodeAborted
+	case errors.Is(err, ErrReadOnly):
+		return CodeReadOnly
 	case errors.Is(err, ErrSiteOutOfRange):
 		return CodeSiteOutOfRange
 	case errors.Is(err, ErrReplicaUnavailable):
@@ -91,6 +107,10 @@ func FromCode(code, msg string) error {
 		base = ErrSiteOutOfRange
 	case CodeReplicaUnavailable:
 		base = ErrReplicaUnavailable
+	case CodeSnapshotUnavailable:
+		base = ErrSnapshotUnavailable
+	case CodeReadOnly:
+		base = ErrReadOnly
 	default:
 		base = ErrFailed
 	}

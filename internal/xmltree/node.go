@@ -56,6 +56,13 @@ type Document struct {
 	// every consolidation). Atomic so the otherwise read-only WriteTo stays
 	// safe to call on a document that another goroutine is serializing.
 	lastWriteSize atomic.Int64
+	// lastSnapNodes / lastSnapAttrs remember the node and attribute counts of
+	// the previous Snapshot so the next one can size its arena chunks without
+	// the counting walk. They are hints, not invariants: mutations do not
+	// maintain them, and a snapshot whose hints undershoot simply allocates
+	// extra chunks. Atomics for the same reason as lastWriteSize.
+	lastSnapNodes atomic.Int64
+	lastSnapAttrs atomic.Int64
 }
 
 // NewDocument creates an empty document with a root element named rootName.
@@ -397,31 +404,64 @@ func (d *Document) Clone() *Document {
 func (d *Document) Snapshot() *Document {
 	nd := &Document{Name: d.Name, nextID: d.nextID}
 	nd.lastWriteSize.Store(d.lastWriteSize.Load())
-	count, attrTotal := 0, 0
-	d.Walk(func(n *Node) bool {
-		count++
-		attrTotal += len(n.Attrs)
-		return true
-	})
-	// Arena blocks. childPtrs and attrs are sliced up without ever growing
-	// (every non-root node is a child exactly once), so interior pointers
-	// stay valid.
-	arena := make([]Node, 0, count)
-	childPtrs := make([]*Node, 0, count)
-	attrs := make([]Attr, 0, attrTotal)
+	nodeHint := int(d.lastSnapNodes.Load())
+	attrHint := int(d.lastSnapAttrs.Load())
+	if nodeHint == 0 {
+		// First snapshot of this document: count exactly. Later snapshots
+		// reuse the previous counts as capacity hints and skip this walk.
+		d.Walk(func(n *Node) bool {
+			nodeHint++
+			attrHint += len(n.Attrs)
+			return true
+		})
+	}
+	// Chunked arena. Chunks are append-only and never reallocate, so interior
+	// pointers into them stay valid; when a hint undershoots (the document
+	// grew since the last snapshot) a fresh chunk is allocated. Each node's
+	// Children and Attrs slices are contiguous within a single chunk — a
+	// chunk at least as large as the needed run is allocated when the current
+	// one cannot hold it — and are full-capacity slices, so they cannot grow
+	// into a neighbour's run.
+	nodeChunk := make([]Node, 0, nodeHint)
+	ptrChunk := make([]*Node, 0, nodeHint)
+	var attrChunk []Attr
+	if attrHint > 0 {
+		attrChunk = make([]Attr, 0, attrHint)
+	}
+	nodeCount, attrCount := 0, 0
+	newNode := func(n *Node, parent *Node) *Node {
+		if len(nodeChunk) == cap(nodeChunk) {
+			nodeChunk = make([]Node, 0, max(2*cap(nodeChunk), 64))
+		}
+		nodeChunk = append(nodeChunk, Node{ID: n.ID, Name: n.Name, Text: n.Text, Parent: parent, doc: nd})
+		nodeCount++
+		return &nodeChunk[len(nodeChunk)-1]
+	}
+	childSlice := func(n int) []*Node {
+		if cap(ptrChunk)-len(ptrChunk) < n {
+			ptrChunk = make([]*Node, 0, max(2*cap(ptrChunk), n, 64))
+		}
+		start := len(ptrChunk)
+		ptrChunk = ptrChunk[:start+n]
+		return ptrChunk[start : start+n : start+n]
+	}
+	attrSlice := func(src []Attr) []Attr {
+		if cap(attrChunk)-len(attrChunk) < len(src) {
+			attrChunk = make([]Attr, 0, max(2*cap(attrChunk), len(src), 16))
+		}
+		start := len(attrChunk)
+		attrChunk = append(attrChunk, src...)
+		attrCount += len(src)
+		return attrChunk[start:len(attrChunk):len(attrChunk)]
+	}
 	var clone func(n *Node, parent *Node) *Node
 	clone = func(n *Node, parent *Node) *Node {
-		arena = append(arena, Node{ID: n.ID, Name: n.Name, Text: n.Text, Parent: parent, doc: nd})
-		cp := &arena[len(arena)-1]
+		cp := newNode(n, parent)
 		if len(n.Attrs) > 0 {
-			start := len(attrs)
-			attrs = append(attrs, n.Attrs...)
-			cp.Attrs = attrs[start:len(attrs):len(attrs)]
+			cp.Attrs = attrSlice(n.Attrs)
 		}
 		if len(n.Children) > 0 {
-			start := len(childPtrs)
-			childPtrs = childPtrs[:start+len(n.Children)]
-			cp.Children = childPtrs[start:len(childPtrs):len(childPtrs)]
+			cp.Children = childSlice(len(n.Children))
 			for i, c := range n.Children {
 				cp.Children[i] = clone(c, cp)
 			}
@@ -429,6 +469,12 @@ func (d *Document) Snapshot() *Document {
 		return cp
 	}
 	nd.Root = clone(d.Root, nil)
+	// Store the exact counts back on both documents: the source so its next
+	// snapshot sizes correctly, the snapshot so snapshotting it is cheap too.
+	d.lastSnapNodes.Store(int64(nodeCount))
+	d.lastSnapAttrs.Store(int64(attrCount))
+	nd.lastSnapNodes.Store(int64(nodeCount))
+	nd.lastSnapAttrs.Store(int64(attrCount))
 	return nd
 }
 

@@ -385,3 +385,49 @@ func TestSnapshotMatchesClone(t *testing.T) {
 		t.Fatal("snapshot aliased the original document")
 	}
 }
+
+// TestSnapshotHintedChunksMatchClone exercises the hinted arena path: the
+// first snapshot counts, later ones reuse the cached counts as chunk sizing
+// hints. Growing the document between snapshots makes the hints undershoot,
+// forcing extra chunk allocations; every snapshot must still match a deep
+// clone exactly.
+func TestSnapshotHintedChunksMatchClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	doc := NewDocument("d", "root")
+	for round := 0; round < 12; round++ {
+		// Grow: attach a random batch of children with attributes and text.
+		var attached []*Node
+		doc.Walk(func(n *Node) bool { attached = append(attached, n); return true })
+		for i := 0; i < 1+rng.Intn(40); i++ {
+			parent := attached[rng.Intn(len(attached))]
+			n := doc.NewElement("e")
+			n.Text = strings.Repeat("x", rng.Intn(8))
+			for a := 0; a < rng.Intn(3); a++ {
+				n.SetAttr(string(rune('a'+a)), "v")
+			}
+			if err := doc.AttachAt(parent, n, Into); err != nil {
+				t.Fatalf("attach: %v", err)
+			}
+		}
+		snap := doc.Snapshot()
+		if !Equal(doc, snap) {
+			t.Fatalf("round %d: snapshot differs from document", round)
+		}
+		if !Equal(doc.Clone(), snap) {
+			t.Fatalf("round %d: snapshot differs from clone", round)
+		}
+		// Snapshots must not alias: mutate the original and re-check.
+		mutate := attached[rng.Intn(len(attached))]
+		old := mutate.Text
+		mutate.Text = "mutated"
+		if Equal(doc, snap) && old != "mutated" {
+			t.Fatalf("round %d: snapshot aliased the live tree", round)
+		}
+		mutate.Text = old
+		// A snapshot of the snapshot (hint path on a counted document) must
+		// round-trip too.
+		if !Equal(snap, snap.Snapshot()) {
+			t.Fatalf("round %d: re-snapshot differs", round)
+		}
+	}
+}

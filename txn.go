@@ -39,8 +39,33 @@ func (c *Cluster) Begin(ctx context.Context, site int) (*Txn, error) {
 	return &Txn{sess: sess, site: site}, nil
 }
 
+// BeginReadOnly opens an interactive read-only transaction coordinated by
+// the given site, served by the MVCC snapshot-read subsystem instead of the
+// lock manager. Every query reads the newest committed version of its
+// document at or below the transaction's begin timestamp — never a writer's
+// mid-transaction state, and repeatably (re-reading a document observes the
+// same version). Read-only transactions acquire no locks and add no wait-for
+// edges, so they can never deadlock with writers or be chosen as deadlock
+// victims; Commit is a trivially cheap release of the read snapshot. Updates
+// are refused with ErrReadOnly without terminating the transaction. A read
+// whose snapshot was already retired by version GC fails the transaction
+// with ErrSnapshotUnavailable — resubmit to read a fresh snapshot.
+func (c *Cluster) BeginReadOnly(ctx context.Context, site int) (*Txn, error) {
+	if site < 0 || site >= len(c.ids) {
+		return nil, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.ids))
+	}
+	sess, err := c.site(site).BeginReadOnly(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Txn{sess: sess, site: site}, nil
+}
+
 // ID returns the transaction identifier (coordinator site + sequence).
 func (t *Txn) ID() string { return t.sess.ID().String() }
+
+// ReadOnly reports whether the transaction was opened with BeginReadOnly.
+func (t *Txn) ReadOnly() bool { return t.sess.ReadOnly() }
 
 // Site returns the coordinator site of the transaction.
 func (t *Txn) Site() int { return t.site }
@@ -169,9 +194,11 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // SubmitWithRetry runs the transaction like SubmitCtx but resubmits it when
 // it is aborted as a deadlock victim — the paper leaves resubmission "to the
 // application", and this is that decision packaged as a bounded
-// exponential-backoff policy. Only ErrDeadlock outcomes are retried; any
-// other error (including a cancellation-triggered ErrAborted) returns
-// immediately. After MaxAttempts the last deadlock error is returned.
+// exponential-backoff policy. ErrDeadlock and ErrSnapshotUnavailable
+// outcomes are retried (both mean "resubmission is safe and should
+// succeed"); any other error (including a cancellation-triggered ErrAborted)
+// returns immediately. After MaxAttempts the last retryable error is
+// returned.
 func (c *Cluster) SubmitWithRetry(ctx context.Context, site int, policy RetryPolicy, ops ...Op) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -180,7 +207,8 @@ func (c *Cluster) SubmitWithRetry(ctx context.Context, site int, policy RetryPol
 	backoff := policy.Backoff
 	for attempt := 1; ; attempt++ {
 		res, err := c.SubmitCtx(ctx, site, ops...)
-		if err == nil || !errors.Is(err, ErrDeadlock) || attempt >= policy.MaxAttempts {
+		retryable := errors.Is(err, ErrDeadlock) || errors.Is(err, ErrSnapshotUnavailable)
+		if err == nil || !retryable || attempt >= policy.MaxAttempts {
 			return res, err
 		}
 		timer := time.NewTimer(backoff)
