@@ -10,11 +10,15 @@
 //	go run ./cmd/benchjson -baseline BENCH_baseline.json -o BENCH_pr.json bench1.txt bench2.txt
 //
 // With -baseline, every benchmark present in both runs is annotated with
-// the ns/op ratio against the baseline; -max-regress fails the run (exit 1)
-// when a benchmark regresses beyond the given fraction — the soft gate the
-// CI pipeline reports on. -md appends a markdown comparison table
-// (old/new/delta per benchmark) to the given file; the bench job points it
-// at $GITHUB_STEP_SUMMARY so every PR run renders the trajectory in the
+// the ns/op ratio against the baseline, and a geometric-mean delta across
+// all compared benchmarks is printed as the one-line summary; -max-regress
+// fails the run (exit 1) when a benchmark regresses beyond the given
+// fraction — the soft gate the CI pipeline reports on. -require names (as a
+// regexp) the hot-path benchmarks that MUST have a baseline entry: a match
+// missing from the baseline fails the run instead of slipping past the gate
+// ungated. -md appends a markdown comparison table (old/new/delta per
+// benchmark) to the given file; the bench job points it at
+// $GITHUB_STEP_SUMMARY so every PR run renders the trajectory in the
 // workflow summary.
 package main
 
@@ -24,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"strconv"
@@ -108,6 +113,8 @@ func main() {
 		"fail when a multi-iteration benchmark's ns/op exceeds baseline by this fraction (0 disables; n=1 results are never gated)")
 	md := flag.String("md", "",
 		"append a markdown comparison table to this file (e.g. $GITHUB_STEP_SUMMARY); requires -baseline")
+	require := flag.String("require", "",
+		"regexp of hot-path benchmarks that MUST have a baseline entry; a match missing from the baseline fails the run (requires -baseline)")
 	flag.Parse()
 
 	rep := &Report{Unix: time.Now().Unix()}
@@ -148,10 +155,23 @@ func main() {
 				ref[b.Name] = b.NsPerOp
 			}
 		}
+		var required *regexp.Regexp
+		if *require != "" {
+			if required, err = regexp.Compile(*require); err != nil {
+				fatal(fmt.Errorf("-require: %w", err))
+			}
+		}
+		var missing []string
 		for i := range rep.Benchmarks {
 			b := &rep.Benchmarks[i]
 			refNs, ok := ref[b.Name]
 			if !ok || b.NsPerOp <= 0 {
+				if required != nil && required.MatchString(b.Name) && b.NsPerOp > 0 {
+					// A hot-path benchmark with no committed comparison point:
+					// the regression gate would silently wave it through, so
+					// the run fails until the baseline is refreshed.
+					missing = append(missing, b.Name)
+				}
 				continue
 			}
 			b.VsBaseline = b.NsPerOp / refNs
@@ -168,13 +188,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%-60s %8.0f ns/op  vs baseline %.2fx  %s\n",
 				b.Name, b.NsPerOp, b.VsBaseline, status)
 		}
+		if g, n := geomeanVsBaseline(rep.Benchmarks); n > 0 {
+			fmt.Fprintf(os.Stderr, "geomean vs baseline: %.3fx (%+.1f%%) across %d benchmark(s)\n",
+				g, (g-1)*100, n)
+		}
 		if *md != "" {
 			if err := appendMarkdown(*md, rep, ref, *maxRegress); err != nil {
 				fatal(err)
 			}
 		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d hot-path benchmark(s) missing from %s: %s\n",
+				len(missing), *baseline, strings.Join(missing, ", "))
+			fmt.Fprintln(os.Stderr, "benchjson: refresh the committed baseline to cover them")
+			os.Exit(1)
+		}
 	} else if *md != "" {
 		fatal(fmt.Errorf("-md requires -baseline"))
+	} else if *require != "" {
+		fatal(fmt.Errorf("-require requires -baseline"))
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -224,6 +256,10 @@ func markdownSummary(rep *Report, ref map[string]float64, maxRegress float64) st
 		fmt.Fprintf(&b, "| %s | %.0f | %.0f | %+.1f%% | %s |\n",
 			bm.Name, refNs, bm.NsPerOp, (ratio-1)*100, status)
 	}
+	if g, n := geomeanVsBaseline(rep.Benchmarks); n > 0 {
+		fmt.Fprintf(&b, "\n**Geomean delta: %+.1f%%** across %d benchmark(s) with a baseline entry.\n",
+			(g-1)*100, n)
+	}
 	b.WriteString("\n")
 	return b.String()
 }
@@ -242,6 +278,24 @@ func appendMarkdown(path string, rep *Report, ref map[string]float64, maxRegress
 		return werr
 	}
 	return cerr
+}
+
+// geomeanVsBaseline aggregates the per-benchmark ns/op ratios into one
+// geometric-mean delta — the single number that summarises whether the run
+// as a whole got faster or slower. Only benchmarks with a baseline entry
+// (VsBaseline set) contribute; returns the mean and the contributor count.
+func geomeanVsBaseline(benchmarks []Benchmark) (float64, int) {
+	sum, n := 0.0, 0
+	for _, b := range benchmarks {
+		if b.VsBaseline > 0 {
+			sum += math.Log(b.VsBaseline)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return math.Exp(sum / float64(n)), n
 }
 
 // dedupe collapses repeated runs of one benchmark (a quick sweep plus a

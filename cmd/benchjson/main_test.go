@@ -42,6 +42,25 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestGeomeanVsBaseline(t *testing.T) {
+	if g, n := geomeanVsBaseline(nil); g != 0 || n != 0 {
+		t.Fatalf("empty input: %v, %d", g, n)
+	}
+	// 2x and 0.5x cancel to exactly 1.0; entries without a baseline ratio
+	// (VsBaseline 0) do not contribute.
+	g, n := geomeanVsBaseline([]Benchmark{
+		{Name: "A", VsBaseline: 2.0},
+		{Name: "B", VsBaseline: 0.5},
+		{Name: "C"},
+	})
+	if n != 2 {
+		t.Fatalf("contributors = %d, want 2", n)
+	}
+	if g < 0.999 || g > 1.001 {
+		t.Fatalf("geomean = %v, want 1.0", g)
+	}
+}
+
 func TestMarkdownSummary(t *testing.T) {
 	rep := &Report{Benchmarks: []Benchmark{
 		{Name: "BenchmarkA", N: 100, NsPerOp: 500},

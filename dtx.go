@@ -124,7 +124,38 @@ type Config struct {
 	// out of the chain once they have been superseded for this long, even
 	// while the chain is under SnapshotVersions.
 	SnapshotRetention time.Duration
+	// Replication selects the write-replication mode. Empty or "eager" is
+	// the original semantics: every write executes at every replica, and a
+	// partially-down replica set refuses writes with ErrReplicaUnavailable.
+	// "quorum" routes every write to its document's primary (the
+	// lowest-numbered replica site), ships the committed effects to the
+	// followers through a replication log, and acknowledges once WriteQuorum
+	// replicas hold them durably — so writes keep flowing while followers
+	// are down, and read-only transactions are served from followers within
+	// MaxStaleness.
+	Replication string
+	// WriteQuorum is the number of replicas (primary included) that must
+	// durably hold a write before its commit acknowledges, in quorum mode.
+	// Zero selects a majority of each document's replica set.
+	WriteQuorum int
+	// MaxStaleness bounds, in quorum mode, how long a follower that knows it
+	// lags the primary keeps serving snapshot reads before refusing them (the
+	// coordinator then retries at the primary). Zero selects 1s.
+	MaxStaleness time.Duration
+	// ReplHorizon is the per-document record capacity of each site's
+	// replication log in quorum mode; a follower further behind than the
+	// horizon catches up by whole-document transfer. Zero selects 512.
+	ReplHorizon int
 }
+
+// Replication modes for Config.Replication.
+const (
+	// ReplicationEager writes to every replica synchronously (the default).
+	ReplicationEager = sched.ReplicationEager
+	// ReplicationQuorum ships a replication log from each document's primary
+	// and acknowledges at Config.WriteQuorum durable replicas.
+	ReplicationQuorum = sched.ReplicationQuorum
+)
 
 // Cluster is a running DTX deployment.
 type Cluster struct {
@@ -181,6 +212,11 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Journal && cfg.StoreDir == "" {
 		return nil, fmt.Errorf("dtx: Journal requires StoreDir")
+	}
+	switch cfg.Replication {
+	case "", ReplicationEager, ReplicationQuorum:
+	default:
+		return nil, fmt.Errorf("dtx: unknown replication mode %q", cfg.Replication)
 	}
 	c := &Cluster{
 		cfg:      cfg,
@@ -244,6 +280,10 @@ func (c *Cluster) buildSite(i int, recovering bool) (*sched.Site, error) {
 		HeartbeatMisses:   c.cfg.HeartbeatMisses,
 		SnapshotVersions:  c.cfg.SnapshotVersions,
 		SnapshotRetention: c.cfg.SnapshotRetention,
+		Replication:       c.cfg.Replication,
+		WriteQuorum:       c.cfg.WriteQuorum,
+		MaxStaleness:      c.cfg.MaxStaleness,
+		ReplHorizon:       c.cfg.ReplHorizon,
 		Recovering:        recovering,
 	})
 	if err := site.AttachNetwork(c.network); err != nil {

@@ -42,8 +42,11 @@ var (
 	// is down or suspected down. Reads route around dead replicas
 	// automatically, so this surfaces when no replica of a document is
 	// believed alive, or when a write would touch a partially-down replica
-	// set — writes must reach every copy, so they fail fast instead of
-	// queueing behind a dead site. Retry once the site is restarted
+	// set — in the default eager mode writes must reach every copy, so they
+	// fail fast instead of queueing behind a dead site. Under
+	// Config.Replication "quorum" a write fails this way only when the
+	// document's PRIMARY is down: down followers are routed around, and the
+	// commit proceeds on the write quorum. Retry once the site is restarted
 	// (RestartSite) or the failure detector readmits it.
 	ErrReplicaUnavailable = txn.ErrReplicaUnavailable
 	// ErrReadOnly: an update was attempted on a read-only transaction

@@ -302,6 +302,40 @@ func TestCrashInjectionWorkload(t *testing.T) {
 	}
 }
 
+// TestQuorumReplicationLagWorkload drives the standard mixed workload in
+// quorum-replication mode with every follower's apply delayed by the
+// fault-injection hook: commits must wait out a follower ack (quorum 2 of 3)
+// and snapshot readers run against followers that knowingly lag, exercising
+// the stale-refusal reroute under load. A healthy quorum means no
+// transaction may FAIL — lag converts into latency, not unavailability.
+func TestQuorumReplicationLagWorkload(t *testing.T) {
+	p := Params{
+		Sites: 3, Clients: 6, TxPerClient: 4, OpsPerTx: 3,
+		UpdateTxPct: 100, UpdateOpPct: 50, ReadOnlyPct: 40,
+		BaseBytes: 24 << 10, Partial: false, Protocol: "xdgl", Seed: 11,
+		Heartbeat:    5 * time.Millisecond,
+		Replication:  "quorum",
+		WriteQuorum:  2,
+		ReplApplyLag: time.Millisecond,
+	}
+	res, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatalf("nothing committed under replication lag: %+v", res)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d transactions failed despite a reachable quorum: %+v", res.Failed, res)
+	}
+	if res.Committed+res.Aborted+res.Failed != res.Total {
+		t.Fatalf("lost transactions: %+v", res)
+	}
+	if res.ReadOnlyCommitted == 0 {
+		t.Fatal("no read-only transaction committed against the lagging followers")
+	}
+}
+
 // TestSnapshotReadersVsLockedReaders pits two workloads with the same
 // read/write balance against each other on one hot document: in A the
 // readers take the locking path (pure-query transactions still acquire

@@ -87,6 +87,16 @@ type Params struct {
 	// survivors; the run's Result then reflects the failure blast radius —
 	// the class of chaos scenario the throughput benchmarks cannot reach.
 	Crash *CrashSpec
+	// Replication selects the write-replication mode ("" / "eager" /
+	// "quorum", sched.Config.Replication) and WriteQuorum the ack threshold
+	// in quorum mode (zero = majority).
+	Replication string
+	WriteQuorum int
+	// ReplApplyLag injects a fixed delay at every follower before it applies
+	// a shipped replication span (sched.CrashHooks.BeforeReplApply, armed at
+	// EVERY site) — the fault-injection dial for bounded-staleness and
+	// quorum-under-lag chaos runs.
+	ReplApplyLag time.Duration
 }
 
 // CrashStage names a 2PC stage boundary a CrashSpec can target.
@@ -249,6 +259,13 @@ func BuildCluster(p Params, hook sched.HistoryHook) (*Cluster, error) {
 			VictimOldest:      p.VictimOldest,
 			HeartbeatInterval: p.Heartbeat,
 			HeartbeatMisses:   2,
+			Replication:       p.Replication,
+			WriteQuorum:       p.WriteQuorum,
+		}
+		if p.ReplApplyLag > 0 {
+			// Each site gets its own hook struct: the crash victim's kill
+			// closures must not be shared with the other sites.
+			cfg.Hooks = &sched.CrashHooks{BeforeReplApply: func(string, int) { time.Sleep(p.ReplApplyLag) }}
 		}
 		if p.Crash != nil && i == p.Crash.Site {
 			journal, dir, err := journalFor(p, i)
@@ -257,6 +274,9 @@ func BuildCluster(p Params, hook sched.HistoryHook) (*Cluster, error) {
 			}
 			cfg.Journal = journal
 			cluster.journalDir = dir
+			if cfg.Hooks != nil {
+				crashHooks.BeforeReplApply = cfg.Hooks.BeforeReplApply
+			}
 			cfg.Hooks = crashHooks
 		}
 		sites[i] = sched.New(cfg)

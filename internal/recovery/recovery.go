@@ -98,8 +98,13 @@ type Report struct {
 	// coordinator — decided transactions that never consolidated locally,
 	// whose fate depends on which participants the fan-out reached.
 	Decisions []Resolution
-	// CaughtUp lists the documents refreshed from a live replica.
+	// CaughtUp lists the documents refreshed from a live replica —
+	// incrementally (replication-log replay) or by whole-document transfer.
 	CaughtUp []string
+	// ReplRecords counts the replication-log records replayed by incremental
+	// catch-up (quorum mode); documents it made current avoid the
+	// whole-document transfer entirely.
+	ReplRecords int
 	// SeqFloor is the identifier fence applied to the restarted site.
 	SeqFloor int64
 }
@@ -119,6 +124,9 @@ func (r *Report) String() string {
 	}
 	if len(r.CaughtUp) > 0 {
 		fmt.Fprintf(&b, "\n  caught up: %s", strings.Join(r.CaughtUp, ", "))
+	}
+	if r.ReplRecords > 0 {
+		fmt.Fprintf(&b, "\n  replayed %d replication record(s)", r.ReplRecords)
 	}
 	return b.String()
 }
@@ -373,11 +381,29 @@ func resolveOne(s *sched.Site, opts Options, t string) Resolution {
 	return res
 }
 
-// catchUp re-fetches every locally held document from a live replica. A
-// document with no live peer replica keeps its local store copy (and the
-// report omits it).
+// catchUp converges every locally held document with the live replicas. In
+// quorum-replication mode the incremental path runs first: resume from the
+// position the store's meta record certifies and replay only the missing
+// replication-log span (from this site's own journal-reseeded log when it is
+// the document's primary, from the primary otherwise). Only when that cannot
+// converge the document — untrusted position, span compacted past the
+// horizon, unreachable primary, or legacy eager mode — does catch-up fall
+// back to fetching the whole document from a live replica. A document with
+// no path to convergence keeps its local store copy (and the report omits
+// it).
 func catchUp(s *sched.Site, opts Options, report *Report) {
+	quorum := s.QuorumReplication()
 	for _, name := range report.Documents {
+		if quorum {
+			ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+			n, current := s.ReplCatchUp(ctx, name)
+			cancel()
+			report.ReplRecords += n
+			if current {
+				report.CaughtUp = append(report.CaughtUp, name)
+				continue
+			}
+		}
 		for _, site := range s.Catalog().Sites(name) {
 			if site == s.ID() || s.PeerState(site) != sched.PeerUp {
 				continue
@@ -398,6 +424,11 @@ func catchUp(s *sched.Site, opts Options, report *Report) {
 			}
 			if err := s.ReplaceDocument(doc); err != nil {
 				continue
+			}
+			if quorum {
+				// Pin the transferred bytes at the position they were
+				// captured at, so incremental replication resumes from them.
+				s.ResetReplPosition(name, fetched.Head)
 			}
 			report.CaughtUp = append(report.CaughtUp, name)
 			break

@@ -179,11 +179,31 @@ func (s *Site) execOp(ctx context.Context, ct *coordTxn, opIdx int) error {
 		if len(sites) == 0 && len(down) == 0 {
 			return fmt.Errorf("%w: no site holds %q", txn.ErrUnknownDocument, op.Doc)
 		}
-		if op.Kind != txn.OpQuery && len(down) > 0 {
-			return fmt.Errorf("%w: %q has down replica site(s) %v", txn.ErrReplicaUnavailable, op.Doc, down)
-		}
-		if len(sites) == 0 {
-			return fmt.Errorf("%w: no live replica of %q", txn.ErrReplicaUnavailable, op.Doc)
+		if s.replLog != nil {
+			// Quorum mode: every operation of a read-write transaction runs
+			// at the document's primary only — lock state must live in one
+			// place — and the committed effects reach the followers through
+			// log shipping, so a down follower never blocks a write. Only a
+			// down primary makes the document unavailable for writing.
+			primary := s.primaryOf(op.Doc)
+			alive := false
+			for _, site := range sites {
+				if site == primary {
+					alive = true
+					break
+				}
+			}
+			if !alive {
+				return fmt.Errorf("%w: primary site %d of %q is down", txn.ErrReplicaUnavailable, primary, op.Doc)
+			}
+			sites = []int{primary}
+		} else {
+			if op.Kind != txn.OpQuery && len(down) > 0 {
+				return fmt.Errorf("%w: %q has down replica site(s) %v", txn.ErrReplicaUnavailable, op.Doc, down)
+			}
+			if len(sites) == 0 {
+				return fmt.Errorf("%w: no live replica of %q", txn.ErrReplicaUnavailable, op.Doc)
+			}
 		}
 
 		var res localResult
@@ -559,18 +579,35 @@ func (s *Site) commitTransaction(ct *coordTxn) bool {
 				return false
 			}
 			ack, _ := resp.(transport.Ack)
+			if err == nil && !ack.OK && ack.Consolidated {
+				// The participant applied the transaction past its point of
+				// no return (e.g. a quorum shortfall after the local commit)
+				// and refused only the outcome: no clean abort exists.
+				ackMu.Lock()
+				maybeConsolidated = true
+				ackMu.Unlock()
+			}
 			return err == nil && ack.OK
 		})
 	}
 	// Algorithm 5, l. 10–11: persist locally and release the locks.
-	if allOK && s.commitLocal(id) == nil {
-		if s.cfg.Journal != nil && !readOnly {
-			// A transaction that persisted nothing at this site has no local
-			// commit record coming; seal the decision so it does not linger
-			// as unresolved across restarts.
-			_ = s.cfg.Journal.SealDecision(id.String())
+	if allOK {
+		localErr := s.commitLocal(id)
+		if localErr == nil {
+			if s.cfg.Journal != nil && !readOnly {
+				// A transaction that persisted nothing at this site has no local
+				// commit record coming; seal the decision so it does not linger
+				// as unresolved across restarts.
+				_ = s.cfg.Journal.SealDecision(id.String())
+			}
+			s.noteWrites(ct)
+			return true
 		}
-		return true
+		if errors.Is(localErr, errQuorumShort) {
+			// The local consolidation itself is done — persisted, locks
+			// released — only the replication quorum fell short.
+			maybeConsolidated = true
+		}
 	}
 	// Algorithm 5, l. 5–7: commit rejected. A vacuous ok (dead read-only
 	// participant) is not a consolidation; a lost ack from a write

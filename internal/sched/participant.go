@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/lock"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/wfg"
@@ -198,6 +199,9 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 			out.err = aerr.Error()
 		} else {
 			pt.addUndo(opIdx, undoEntry{doc: op.Doc, rec: rec})
+			if s.replLog != nil {
+				pt.addApplied(opIdx, op)
+			}
 			ds.dirty[id] = true
 			out.executed = true
 		}
@@ -225,6 +229,7 @@ func (s *Site) undoOpLocal(id txn.ID, opIdx int) {
 	}
 	pt.cleanupMu.Lock()
 	entries := pt.takeUndo(opIdx)
+	pt.dropApplied(opIdx)
 	for i := len(entries) - 1; i >= 0; i-- {
 		e := entries[i]
 		if ds := s.doc(e.doc); ds != nil {
@@ -481,22 +486,53 @@ func (s *Site) commitLocal(id txn.ID) error {
 	// the committed tree is materialised lazily, by the next writer's first
 	// update at a clean point or by a snapshot reader (pinDocVersion). One
 	// clock tick stamps the whole local consolidation.
+	var cts txn.TS
 	if len(toPersist) > 0 {
 		s.mu.Lock()
-		cts := s.clock.Tick()
+		cts = s.clock.Tick()
 		s.mu.Unlock()
 		for _, ds := range toPersist {
 			ds.versions.Advance(cts)
 		}
 	}
+	var byDoc map[string][]txn.Operation
+	if s.replLog != nil && pt != nil {
+		byDoc = pt.appliedByDoc()
+	}
+	var ships []shipItem
 	for _, ds := range toPersist {
 		ds.mu.Lock()
 		delete(ds.dirty, id)
+		if ops := byDoc[ds.doc.Name]; len(ops) > 0 {
+			// Quorum mode: append this transaction's effects on the document
+			// to the shipping log and journal the record, all under the
+			// domain mutex — racing commits on one document must hit the
+			// journal in index order, or the replayed tail would gap-reset
+			// and re-mint an index a follower already applied.
+			rec := store.ReplRecord{Txn: id, TS: cts, Ops: ops}
+			rec.Index = s.replLog.Append(ds.doc.Name, rec)
+			ds.replApplied = rec.Index
+			if j := s.cfg.Journal; j != nil && !s.Killed() {
+				if payload, perr := store.EncodeReplRecord(rec); perr == nil {
+					_ = j.LogRepl(ds.doc.Name, rec.Index, payload)
+				}
+			}
+			ships = append(ships, shipItem{ds: ds, rec: rec})
+		}
 		s.schedulePersistLocked(ds, group)
 		ds.mu.Unlock()
 	}
 	wake := s.releaseLocks(id, names)
 	s.notifyWaiters(wake)
+	if len(ships) > 0 {
+		// Ship after the local point of no return: locks are released and
+		// the persist pipeline holds the changes, so a quorum shortfall is a
+		// consolidated-but-uncertain outcome (errQuorumShort), never a clean
+		// abort.
+		if err := s.shipQuorum(ships); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/store"
 	"repro/internal/txn"
 )
 
@@ -148,6 +149,7 @@ func (s *Site) persistWorker(ds *docState) {
 		// The snapshot is the only persist work under the domain mutex: an
 		// arena copy of the tree. Marshal and I/O happen below, unlocked.
 		snap := ds.doc.Snapshot()
+		replIdx := ds.replApplied
 		ds.mu.Unlock()
 
 		if hooks := s.cfg.Hooks; hooks != nil && hooks.BeforeSave != nil {
@@ -170,7 +172,24 @@ func (s *Site) persistWorker(ds *docState) {
 			return
 		}
 
+		// Quorum mode: bracket the Save with the replication-position meta
+		// record. "pending" before means a crash mid-write leaves the bytes
+		// untrusted (recovery falls back to whole-document transfer); "clean"
+		// after certifies the saved bytes sit exactly at replIdx, the index
+		// incremental catch-up resumes from. replIdx was captured atomically
+		// with the snapshot, so the pair is consistent even as the document
+		// advances behind this flush.
+		var meta store.MetaStore
+		if s.replLog != nil {
+			meta, _ = s.cfg.Store.(store.MetaStore)
+		}
+		if meta != nil {
+			_ = meta.SaveMeta(snap.Name, fmt.Sprintf("%d pending", replIdx))
+		}
 		err := s.cfg.Store.Save(snap)
+		if err == nil && meta != nil {
+			_ = meta.SaveMeta(snap.Name, fmt.Sprintf("%d clean", replIdx))
+		}
 		if err != nil {
 			atomic.AddInt64(&s.stats.PersistErrors, 1)
 			ds.mu.Lock()

@@ -114,6 +114,31 @@ type Config struct {
 	// SnapshotRetention, when positive, additionally retires unpinned old
 	// versions past this age even while the chain is under SnapshotVersions.
 	SnapshotRetention time.Duration
+	// Replication selects the write-replication mode. The default ("", or
+	// ReplicationEager explicitly) keeps the original semantics: every write
+	// executes at every replica and a partially-down replica set refuses
+	// writes. ReplicationQuorum routes every operation of a read-write
+	// transaction to each document's primary (the lowest-numbered catalog
+	// site) and replicates committed effects by shipping the replication log
+	// to the followers: a commit acknowledges once WriteQuorum replicas have
+	// durably acked its records, so a partially-down replica set keeps
+	// accepting writes, and lagging followers catch up incrementally from
+	// the log. Followers serve snapshot reads within MaxStaleness.
+	Replication string
+	// WriteQuorum is the number of replicas (the primary included) that must
+	// durably ack a commit's replication records before the commit
+	// acknowledges in quorum mode; zero selects a majority of each
+	// document's replica set.
+	WriteQuorum int
+	// MaxStaleness bounds how far behind its primary a follower may
+	// knowingly lag and still serve snapshot reads in quorum mode (zero
+	// selects 1s). A follower past the bound refuses with a retry-at-primary
+	// code instead of serving arbitrarily old data.
+	MaxStaleness time.Duration
+	// ReplHorizon bounds how many replication-log records are retained per
+	// document for incremental follower catch-up (zero selects 512); a
+	// follower further behind falls back to whole-document transfer.
+	ReplHorizon int
 	// Recovering starts the site in recovering state: it answers heartbeats
 	// not-ready and refuses operations until FinishRecovery, so peers keep
 	// routing around it while internal/recovery replays the journal and
@@ -146,6 +171,12 @@ type CrashHooks struct {
 	// BeforeSave fires in the persist worker after the snapshot is taken,
 	// before the Store write — the "mid-persist" crash point.
 	BeforeSave func(doc string)
+	// BeforeReplApply fires at a follower when a shipped replication-log
+	// span for doc arrives from site from, after the follower has recorded
+	// how far ahead the primary is but before the records are applied — the
+	// replication-lag injection point (a sleeping hook makes a follower that
+	// knows it lags, which is what the bounded-staleness refusal keys on).
+	BeforeReplApply func(doc string, from int)
 }
 
 // GrantInfo describes one granted lock for history recording.
@@ -190,6 +221,14 @@ func (c Config) withDefaults() Config {
 	if len(c.Sites) == 0 {
 		c.Sites = []int{c.SiteID}
 	}
+	if c.Replication == ReplicationQuorum {
+		if c.MaxStaleness <= 0 {
+			c.MaxStaleness = time.Second
+		}
+		if c.ReplHorizon <= 0 {
+			c.ReplHorizon = 512
+		}
+	}
 	return c
 }
 
@@ -211,6 +250,10 @@ type Stats struct {
 	PersistErrors      int64 // background persist failures (see persist.go)
 	SnapshotReads      int64 // queries served from MVCC versions, lock-free
 	SnapshotPublishes  int64 // committed versions materialised into a chain
+	LogRecordsShipped  int64 // replication records acked by a follower (per record, per follower)
+	LogRecordsApplied  int64 // shipped replication records applied at this follower
+	ReplStaleRefusals  int64 // snapshot reads refused for exceeding the staleness bound
+	ReplCatchupRecords int64 // replication records applied during recovery catch-up
 }
 
 // docState bundles the in-memory representation of one document at a site:
@@ -253,6 +296,22 @@ type docState struct {
 	persistGroups  []*persistGroup
 	persistActive  bool
 	persistErr     error
+
+	// Quorum replication position (replication.go), guarded by mu like the
+	// rest of the domain. replApplied is the index of the newest
+	// replication-log record reflected in the document here (at the primary:
+	// the newest appended). knownHead and staleSince track, at a follower,
+	// the newest primary index heard of and since when the replica has known
+	// itself behind — the inputs of the bounded-staleness refusal. replAcked
+	// tracks, at the primary, each follower's durably acked index, so ships
+	// resend exactly the unacked suffix. replUntrusted marks a loaded copy
+	// whose meta record was pending or unparseable — its bytes sit at an
+	// unknown position, so incremental catch-up must not resume from it.
+	replApplied   int64
+	knownHead     int64
+	staleSince    time.Time
+	replAcked     map[int]int64
+	replUntrusted bool
 }
 
 // undoEntry is one applied update of one operation, with its inverse.
@@ -281,9 +340,10 @@ type partTxn struct {
 	// mutex; never the reverse.
 	cleanupMu sync.Mutex
 
-	mu   sync.Mutex
-	undo map[int][]undoEntry // op index -> applied updates
-	docs map[string]bool     // documents touched here
+	mu      sync.Mutex
+	undo    map[int][]undoEntry   // op index -> applied updates
+	docs    map[string]bool       // documents touched here
+	applied map[int]txn.Operation // op index -> executed update (quorum mode)
 }
 
 // touch records a document as touched by the transaction at this site.
@@ -318,6 +378,47 @@ func (pt *partTxn) takeUndo(opIdx int) []undoEntry {
 	entries := pt.undo[opIdx]
 	delete(pt.undo, opIdx)
 	return entries
+}
+
+// addApplied records a successfully executed update operation so a quorum
+// commit can replicate exactly what ran here, in op-index order.
+func (pt *partTxn) addApplied(opIdx int, op txn.Operation) {
+	pt.mu.Lock()
+	if pt.applied == nil {
+		pt.applied = make(map[int]txn.Operation)
+	}
+	pt.applied[opIdx] = op
+	pt.mu.Unlock()
+}
+
+// dropApplied forgets an operation that was undone (a failed multi-site
+// attempt): its effects are gone, so it must not be replicated.
+func (pt *partTxn) dropApplied(opIdx int) {
+	pt.mu.Lock()
+	delete(pt.applied, opIdx)
+	pt.mu.Unlock()
+}
+
+// appliedByDoc groups the surviving update operations by document, each
+// group in op-index order — the order they executed against the tree, which
+// is the order followers must replay them in.
+func (pt *partTxn) appliedByDoc() map[string][]txn.Operation {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if len(pt.applied) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(pt.applied))
+	for idx := range pt.applied {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	out := make(map[string][]txn.Operation)
+	for _, idx := range idxs {
+		op := pt.applied[idx]
+		out[op.Doc] = append(out[op.Doc], op)
+	}
+	return out
 }
 
 // takeAllUndo removes and returns every undo entry, keyed by operation.
@@ -521,6 +622,15 @@ type Site struct {
 	// stats is accessed with atomics only.
 	stats Stats
 
+	// replLog is the in-memory per-document shipping log, non-nil exactly in
+	// quorum-replication mode (replication.go). rywMu/recentWrites track the
+	// last committed write per document submitted through this site, so
+	// snapshot reads that follow a write here prefer the primary within the
+	// staleness window (read-your-writes).
+	replLog      *store.ReplLog
+	rywMu        sync.Mutex
+	recentWrites map[string]time.Time
+
 	// queries caches parsed XPath per raw query text, site-wide: repeated
 	// query templates skip the lexer and parser entirely. Update target
 	// paths are pre-parsed on the Update itself (xupdate.Validate).
@@ -592,6 +702,24 @@ func New(cfg Config) *Site {
 	}
 	s.liveness = newLiveness(cfg.HeartbeatInterval > 0, s.abortOrphans)
 	s.persistCond = sync.NewCond(&s.persistMu)
+	if cfg.Replication == ReplicationQuorum {
+		s.replLog = store.NewReplLog(cfg.ReplHorizon)
+		s.recentWrites = make(map[string]time.Time)
+		if cfg.Journal != nil {
+			// Reseed the shipping log from the journal's O-record tail: a
+			// restarted primary keeps serving incremental catch-up over the
+			// span it journaled before the crash.
+			for _, doc := range cfg.Journal.ReplDocs() {
+				for _, e := range cfg.Journal.ReplTail(doc) {
+					rec, err := store.DecodeReplRecord(e.Payload)
+					if err != nil || rec.Index != e.Index {
+						continue
+					}
+					s.replLog.Seed(doc, rec)
+				}
+			}
+		}
+	}
 	if cfg.Journal != nil {
 		// Fence the identifier space on EVERY journaled construction, not
 		// just the recovery path: an incarnation that re-minted a prior ID
@@ -799,6 +927,10 @@ func (s *Site) Stats() Stats {
 		PersistErrors:      atomic.LoadInt64(&s.stats.PersistErrors),
 		SnapshotReads:      atomic.LoadInt64(&s.stats.SnapshotReads),
 		SnapshotPublishes:  atomic.LoadInt64(&s.stats.SnapshotPublishes),
+		LogRecordsShipped:  atomic.LoadInt64(&s.stats.LogRecordsShipped),
+		LogRecordsApplied:  atomic.LoadInt64(&s.stats.LogRecordsApplied),
+		ReplStaleRefusals:  atomic.LoadInt64(&s.stats.ReplStaleRefusals),
+		ReplCatchupRecords: atomic.LoadInt64(&s.stats.ReplCatchupRecords),
 	}
 }
 
@@ -850,6 +982,7 @@ func (s *Site) LoadDocument(name string) error {
 		return err
 	}
 	ds := s.newDocState(doc, dataguide.Build(doc))
+	s.seedReplPosition(ds)
 	s.docsMu.Lock()
 	s.docs[name] = ds
 	s.docsMu.Unlock()
@@ -1021,9 +1154,19 @@ func (s *Site) HandleMessage(from int, msg any) (any, error) {
 		}
 		err := s.commitLocal(m.Txn)
 		if err != nil {
-			return transport.Ack{OK: false, Error: err.Error()}, nil
+			// A quorum shortfall happens past the local point of no return:
+			// this site consolidated (persisted, locks released) but could
+			// not replicate widely enough. Consolidated tells the
+			// coordinator to fail the transaction honestly instead of
+			// aborting over effects that cannot be undone.
+			return transport.Ack{OK: false,
+				Consolidated: errors.Is(err, errQuorumShort), Error: err.Error()}, nil
 		}
 		return transport.Ack{OK: true}, nil
+	case transport.LogShipReq:
+		return s.handleLogShip(m), nil
+	case transport.LogFetchReq:
+		return s.handleLogFetch(m), nil
 	case transport.AbortReq:
 		err := s.abortLocal(m.Txn)
 		if err != nil {
@@ -1115,16 +1258,27 @@ func (s *Site) send(ctx context.Context, to int, msg any) (any, error) {
 
 // handleFetchDoc serves a catch-up request: the current serialized form of
 // a locally held document. A recovering site refuses — it cannot vouch for
-// its copy until its own catch-up completes.
+// its copy until its own catch-up completes. In quorum mode the response
+// additionally carries the replication-log position the clone corresponds
+// to, captured under the same domain-mutex hold as the clone so the
+// (document, index) pair is atomic; the fetcher resumes incremental
+// replication from exactly that index. (A clone taken while writers are
+// mid-transaction can carry their uncommitted effects — the same caveat the
+// eager-mode catch-up has always had; quorum callers fetch at quiescent
+// points or accept convergence through subsequent ships.)
 func (s *Site) handleFetchDoc(req transport.FetchDocReq) transport.FetchDocResp {
 	if !s.Ready() {
 		return transport.FetchDocResp{}
 	}
-	doc, err := s.Document(req.Doc)
-	if err != nil {
+	ds := s.doc(req.Doc)
+	if ds == nil {
 		return transport.FetchDocResp{}
 	}
-	return transport.FetchDocResp{Found: true, XML: doc.String()}
+	ds.mu.Lock()
+	doc := ds.doc.Clone()
+	head := ds.replApplied
+	ds.mu.Unlock()
+	return transport.FetchDocResp{Found: true, XML: doc.String(), Head: head}
 }
 
 // siteStatus reports the site's operational state for dtxctl -status.

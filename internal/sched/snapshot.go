@@ -79,6 +79,12 @@ func (s *Site) snapshotRead(id txn.ID, ts txn.TS, coordinator int, docName, quer
 		return localResult{failed: true, code: txn.CodeUnknownDocument,
 			err: fmt.Sprintf("site %d does not hold document %q", s.id, docName)}, 0
 	}
+	if stale, msg := s.replicaStale(docName, ds); stale {
+		// Quorum mode: this follower knows it lags the primary beyond the
+		// staleness bound; refuse so the coordinator retries at the primary.
+		atomic.AddInt64(&s.stats.ReplStaleRefusals, 1)
+		return localResult{failed: true, code: txn.CodeReplicaStale, err: msg}, 0
+	}
 	q, err := s.queries.Get(query)
 	if err != nil {
 		return localResult{failed: true, err: err.Error()}, 0
@@ -227,6 +233,19 @@ func (s *Site) execSnapshotOp(ctx context.Context, ct *coordTxn, opIdx int) erro
 					break
 				}
 			}
+			if s.replLog != nil && s.recentlyWritten(op.Doc) {
+				// Read-your-writes: a transaction submitted through this site
+				// committed an update to the document within the staleness
+				// window, and only the primary is guaranteed to reflect it.
+				if p := s.primaryOf(op.Doc); p >= 0 {
+					for _, site := range sites {
+						if site == p {
+							candidate = p
+							break
+						}
+					}
+				}
+			}
 			route = ct.claimRoSite(op.Doc, candidate)
 		}
 		target := route.site
@@ -264,6 +283,15 @@ func (s *Site) execSnapshotOp(ctx context.Context, ct *coordTxn, opIdx int) erro
 				}
 			}
 			res = localResult{executed: !r.Failed, failed: r.Failed, code: r.Code, err: r.Error, results: r.Results}
+		}
+		if res.failed && res.code == txn.CodeReplicaStale {
+			// A healthy but lagging follower refused inside the bounded-
+			// staleness contract. Retry at the primary — without marking the
+			// follower suspect; it answered, it is just behind.
+			if p := s.primaryOf(op.Doc); p >= 0 && p != target && ct.rebindRoSite(op.Doc, target) {
+				ct.claimRoSite(op.Doc, p)
+				continue
+			}
 		}
 		if res.failed {
 			msg := res.err

@@ -59,8 +59,9 @@ type Journal struct {
 	openOrder     []string            // intent order, for deterministic reports
 	decisions     map[string]bool     // live coordinator commit decisions
 	decisionOrder []string
-	decisionHead  int           // decisionOrder index of the oldest possibly-live entry
-	maxSeq        map[int]int64 // max sequence number seen per site
+	decisionHead  int                    // decisionOrder index of the oldest possibly-live entry
+	maxSeq        map[int]int64          // max sequence number seen per site
+	repl          map[string][]ReplEntry // bounded per-doc replication-record tail (O records)
 
 	// records counts appended lines since the last compaction; when it
 	// passes checkpointEvery and the journal has at least one sealed record
@@ -88,6 +89,13 @@ const maxDecisions = 8192
 
 // defaultCheckpointEvery is the compaction threshold in appended records.
 const defaultCheckpointEvery = 4096
+
+// replTailLen bounds the per-document replication-record tail retained
+// across compactions. The tail only has to cover the lag a follower can
+// accumulate while the primary restarts — anything longer falls back to
+// whole-document transfer anyway — so it is kept much shorter than the
+// in-memory shipping log's horizon.
+const replTailLen = 128
 
 // OpenJournal opens (creating if needed) a journal file for appending and
 // rebuilds the live state — open intents, live decisions, per-site sequence
@@ -168,6 +176,12 @@ func (j *Journal) applyLine(line string) {
 		j.noteSealed(fields[1])
 	case "D":
 		j.noteDecision(fields[1])
+	case "O":
+		if len(fields) == 4 {
+			if idx, err := strconv.ParseInt(fields[2], 10, 64); err == nil {
+				j.noteRepl(fields[1], idx, fields[3])
+			}
+		}
 	case "K":
 		for _, part := range strings.Split(fields[1], ",") {
 			colon := strings.IndexByte(part, ':')
@@ -221,6 +235,24 @@ func (j *Journal) noteDecision(t string) {
 	}
 }
 
+// noteRepl folds one O record into the per-doc tail, keeping it contiguous
+// (a gap resets the window to the newer record — followers must never be
+// served a span with holes) and bounded at replTailLen.
+func (j *Journal) noteRepl(doc string, index int64, payload string) {
+	if j.repl == nil {
+		j.repl = make(map[string][]ReplEntry)
+	}
+	tail := j.repl[doc]
+	if n := len(tail); n > 0 && index != tail[n-1].Index+1 {
+		tail = tail[:0]
+	}
+	tail = append(tail, ReplEntry{Index: index, Payload: payload})
+	if len(tail) > replTailLen {
+		tail = append([]ReplEntry(nil), tail[len(tail)-replTailLen:]...)
+	}
+	j.repl[doc] = tail
+}
+
 // LogIntent records that the transaction is about to persist the documents.
 // The record is flushed to stable storage before returning.
 func (j *Journal) LogIntent(t string, docs []string) error {
@@ -266,6 +298,48 @@ func (j *Journal) LogDecision(t string) error {
 		return fmt.Errorf("store: journal: invalid txn id %q", t)
 	}
 	return j.append("D " + t)
+}
+
+// LogRepl records one shipped replication record: the primary writes an O
+// line per quorum commit so a restarted primary can reseed its in-memory
+// shipping log and keep serving incremental catch-up. The payload must be a
+// single whitespace-free token (EncodeReplRecord produces one).
+func (j *Journal) LogRepl(doc string, index int64, payload string) error {
+	if !validToken(doc) {
+		return fmt.Errorf("store: journal: invalid document name %q", doc)
+	}
+	if !validToken(payload) {
+		return fmt.Errorf("store: journal: invalid repl payload for %q", doc)
+	}
+	return j.append(fmt.Sprintf("O %s %d %s", doc, index, payload))
+}
+
+// ReplEntry is one retained replication record: its log index and the
+// encoded payload as written to the journal.
+type ReplEntry struct {
+	Index   int64
+	Payload string
+}
+
+// ReplTail returns the retained replication-record tail for the document,
+// oldest first — the contiguous span a restarted primary reseeds its
+// shipping log from.
+func (j *Journal) ReplTail(doc string) []ReplEntry {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]ReplEntry(nil), j.repl[doc]...)
+}
+
+// ReplDocs lists the documents with a retained replication tail, sorted.
+func (j *Journal) ReplDocs() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, 0, len(j.repl))
+	for doc := range j.repl {
+		out = append(out, doc)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // SealDecision closes a live decision whose transaction persisted nothing at
@@ -369,7 +443,11 @@ func (j *Journal) appendLocked(line string) error {
 	// droppable (sealed records); without the second condition a journal
 	// whose live state alone exceeds the threshold would rewrite itself on
 	// every append. The factor keeps compaction amortised O(1) per record.
-	if live := 1 + len(j.open) + len(j.decisions); j.records >= j.checkpointEvery && j.records >= 2*live {
+	live := 1 + len(j.open) + len(j.decisions)
+	for _, tail := range j.repl {
+		live += len(tail)
+	}
+	if j.records >= j.checkpointEvery && j.records >= 2*live {
 		// Best effort: a failed compaction leaves the (valid, longer) file
 		// in place and the next append retries.
 		_ = j.compactLocked()
@@ -413,6 +491,17 @@ func (j *Journal) compactLocked() error {
 	for _, t := range j.decisionOrder {
 		if j.decisions[t] {
 			fmt.Fprintln(w, "D "+t)
+			lines++
+		}
+	}
+	docs := make([]string, 0, len(j.repl))
+	for d := range j.repl {
+		docs = append(docs, d)
+	}
+	sort.Strings(docs)
+	for _, d := range docs {
+		for _, e := range j.repl[d] {
+			fmt.Fprintf(w, "O %s %d %s\n", d, e.Index, e.Payload)
 			lines++
 		}
 	}

@@ -34,6 +34,18 @@ type Store interface {
 	Delete(name string) error
 }
 
+// MetaStore is the optional side-channel a Store may offer for small named
+// metadata blobs — replication uses it to record, next to each document, the
+// exact log index the persisted bytes correspond to. LoadMeta returns
+// ("", false, nil) when no value was ever saved; both backends implement it.
+type MetaStore interface {
+	// SaveMeta persists a metadata blob under the name, replacing any
+	// previous value.
+	SaveMeta(name, data string) error
+	// LoadMeta retrieves a metadata blob; ok is false when absent.
+	LoadMeta(name string) (data string, ok bool, err error)
+}
+
 // NotFoundError reports a missing document.
 type NotFoundError struct{ Name string }
 
@@ -46,6 +58,7 @@ func (e *NotFoundError) Error() string {
 type MemStore struct {
 	mu   sync.RWMutex
 	docs map[string][]byte
+	meta map[string]string
 }
 
 // NewMemStore creates an empty in-memory store.
@@ -98,6 +111,25 @@ func (s *MemStore) Delete(name string) error {
 	}
 	delete(s.docs, name)
 	return nil
+}
+
+// SaveMeta implements MetaStore.
+func (s *MemStore) SaveMeta(name, data string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.meta == nil {
+		s.meta = make(map[string]string)
+	}
+	s.meta[name] = data
+	return nil
+}
+
+// LoadMeta implements MetaStore.
+func (s *MemStore) LoadMeta(name string) (string, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.meta[name]
+	return data, ok, nil
 }
 
 // FileStore persists documents as .xml files in a directory. Document names
@@ -178,6 +210,49 @@ func (s *FileStore) Save(doc *xmltree.Document) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
+}
+
+// SaveMeta implements MetaStore: the blob lands in <name>.meta via the same
+// temp + rename discipline as Save, so a crash never leaves a torn value.
+func (s *FileStore) SaveMeta(name, data string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	p = strings.TrimSuffix(p, ".xml") + ".meta"
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// LoadMeta implements MetaStore.
+func (s *FileStore) LoadMeta(name string) (string, bool, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return "", false, err
+	}
+	p = strings.TrimSuffix(p, ".xml") + ".meta"
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return "", false, nil
+	}
+	if err != nil {
+		return "", false, fmt.Errorf("store: %w", err)
+	}
+	return string(data), true, nil
 }
 
 // Delete implements Store.

@@ -14,6 +14,7 @@ package transport
 import (
 	"encoding/gob"
 
+	"repro/internal/store"
 	"repro/internal/txn"
 	"repro/internal/wfg"
 )
@@ -66,10 +67,15 @@ type AbortReq struct{ Txn txn.ID }
 // FailReq tells a participant the transaction failed (Algorithm 6, l. 7).
 type FailReq struct{ Txn txn.ID }
 
-// Ack is the generic acknowledgement response.
+// Ack is the generic acknowledgement response. Consolidated distinguishes a
+// failed CommitReq whose receiver nonetheless applied the transaction's
+// effects (e.g. a quorum shortfall after the local commit point of no
+// return) from a clean refusal — the coordinator must fail, not abort, when
+// any participant consolidated.
 type Ack struct {
-	OK    bool
-	Error string
+	OK           bool
+	Consolidated bool
+	Error        string
 }
 
 // WFGReq pulls a site's wait-for graph snapshot (Algorithm 4, l. 4).
@@ -147,10 +153,13 @@ type FetchDocReq struct{ Doc string }
 
 // FetchDocResp carries the serialized document. Found is false when the
 // site does not hold the document (or is itself recovering and cannot vouch
-// for its copy).
+// for its copy). Head is the replication-log index the serialized state
+// corresponds to (quorum mode; zero otherwise), captured atomically with
+// the document so the fetcher can resume incremental replication from it.
 type FetchDocResp struct {
 	Found bool
 	XML   string
+	Head  int64
 }
 
 // SiteStatusReq asks a site for its operational status (dtxctl -status).
@@ -225,6 +234,47 @@ type SnapshotReadResp struct {
 // a lost release is recovered by the orphan sweep.
 type SnapshotReleaseReq struct{ Txn txn.ID }
 
+// LogShipReq streams replication-log records for one document from its
+// primary to a follower. Records are the contiguous span after the
+// follower's last acked index; Head is the primary's newest index, so a
+// follower always learns how far behind it is even when Records is partial.
+type LogShipReq struct {
+	Doc     string
+	From    int // shipping (primary) site
+	Primary int
+	Head    int64
+	Records []store.ReplRecord
+}
+
+// LogAck answers a LogShipReq with the follower's applied index. A follower
+// that detects a gap (the span starts past its applied index) sets NeedFrom
+// to the index it must be resent from; the primary rewinds and retries.
+type LogAck struct {
+	Site     int
+	Applied  int64
+	NeedFrom int64
+	OK       bool
+	Error    string
+}
+
+// LogFetchReq asks a document's primary for the replication records after a
+// given index — the incremental catch-up path a restarted follower uses
+// before falling back to whole-document transfer.
+type LogFetchReq struct {
+	Doc   string
+	After int64
+}
+
+// LogFetchResp answers a LogFetchReq. PastHorizon reports that the span is
+// no longer retained (compacted away) and the follower must fetch the whole
+// document instead.
+type LogFetchResp struct {
+	Found       bool
+	PastHorizon bool
+	Head        int64
+	Records     []store.ReplRecord
+}
+
 func init() {
 	gob.Register(ExecOpReq{})
 	gob.Register(ExecOpResp{})
@@ -251,4 +301,8 @@ func init() {
 	gob.Register(SnapshotReadReq{})
 	gob.Register(SnapshotReadResp{})
 	gob.Register(SnapshotReleaseReq{})
+	gob.Register(LogShipReq{})
+	gob.Register(LogAck{})
+	gob.Register(LogFetchReq{})
+	gob.Register(LogFetchResp{})
 }

@@ -58,6 +58,13 @@ const (
 	CodeReplicaUnavailable  = "replica-unavailable"
 	CodeSnapshotUnavailable = "snapshot-unavailable"
 	CodeReadOnly            = "read-only"
+
+	// CodeReplicaStale is a refinement of CodeReplicaUnavailable a follower
+	// answers when it is healthy but lagging beyond the bounded-staleness
+	// window: the caller should retry at the primary WITHOUT marking the
+	// follower suspect. It maps back to ErrReplicaUnavailable — servers set
+	// the code explicitly, never via ErrorCode.
+	CodeReplicaStale = "replica-stale"
 )
 
 // ErrorCode maps an error to its wire code. Unclassified errors map to
@@ -105,7 +112,7 @@ func FromCode(code, msg string) error {
 		base = ErrUnknownDocument
 	case CodeSiteOutOfRange:
 		base = ErrSiteOutOfRange
-	case CodeReplicaUnavailable:
+	case CodeReplicaUnavailable, CodeReplicaStale:
 		base = ErrReplicaUnavailable
 	case CodeSnapshotUnavailable:
 		base = ErrSnapshotUnavailable
