@@ -24,6 +24,7 @@ import (
 	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/txn"
+	"repro/internal/vindex"
 	"repro/internal/xmark"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -156,21 +157,45 @@ func BenchmarkFig12Throughput(b *testing.B) {
 // document every transaction funnels through one scheduling domain and
 // most become deadlock victims; with four, the domains are independent and
 // committed throughput scales.
+//
+// The valpred variants replace half of each transaction's operations with id
+// point lookups (Zipf-skewed values) and contrast the scan path against
+// value-indexed sites — the mixed read/write shape where index maintenance
+// rides the update path and lookups skip the extent scan.
 func BenchmarkFigDocsScaling(b *testing.B) {
+	base := func(docs int) harness.Params {
+		p := benchParams("xdgl")
+		p.Sites = 2
+		p.Clients = 8
+		p.TxPerClient = 4
+		p.OpsPerTx = 5
+		p.Docs = docs
+		p.Partial = false
+		p.UpdateTxPct = 100
+		p.UpdateOpPct = 100
+		p.BaseBytes = 16 << 10
+		p.Latency = 0
+		p.OpDelay = 300 * time.Microsecond
+		return p
+	}
 	for _, docs := range []int{1, 4} {
 		b.Run(fmt.Sprintf("docs=%d", docs), func(b *testing.B) {
-			p := benchParams("xdgl")
-			p.Sites = 2
-			p.Clients = 8
-			p.TxPerClient = 4
-			p.OpsPerTx = 5
-			p.Docs = docs
-			p.Partial = false
-			p.UpdateTxPct = 100
-			p.UpdateOpPct = 100
-			p.BaseBytes = 16 << 10
-			p.Latency = 0
-			p.OpDelay = 300 * time.Microsecond
+			runWorkload(b, base(docs))
+		})
+	}
+	for _, indexed := range []bool{false, true} {
+		mode := "scan"
+		if indexed {
+			mode = "indexed"
+		}
+		b.Run("docs=4/valpred-"+mode, func(b *testing.B) {
+			p := base(4)
+			p.UpdateOpPct = 50
+			p.ValuePredPct = 100
+			p.ValueZipf = 1.5
+			if indexed {
+				p.IndexedKeys = []string{"id"}
+			}
 			runWorkload(b, p)
 		})
 	}
@@ -470,6 +495,88 @@ func BenchmarkXPathEvalDescendantPredicate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		xpath.Eval(q, doc)
+	}
+}
+
+// predicateDoc builds an XMark-people-shaped document with exactly n
+// persons, its DataGuide, and an attached value index on the "id" key —
+// exact extent sizes, unlike dialing xmark.Gen's byte target.
+func predicateDoc(b *testing.B, n int) (*xmltree.Document, *dataguide.DataGuide) {
+	b.Helper()
+	doc := xmltree.NewDocument("pred", "site")
+	people := doc.NewElement("people")
+	if err := doc.AttachAt(doc.Root, people, xmltree.Into); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		person := doc.NewElement("person")
+		if err := doc.AttachAt(people, person, xmltree.Into); err != nil {
+			b.Fatal(err)
+		}
+		for _, kv := range [][2]string{
+			{"id", fmt.Sprintf("%d", i)},
+			{"name", fmt.Sprintf("name%d", i)},
+			{"emailaddress", fmt.Sprintf("mailto:p%d@example.com", i)},
+		} {
+			c := doc.NewElement(kv[0])
+			c.Text = kv[1]
+			if err := doc.AttachAt(person, c, xmltree.Into); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	g := dataguide.Build(doc)
+	g.AttachIndex(vindex.New([]string{"id"}, 0))
+	g.ReindexAll(doc)
+	return doc, g
+}
+
+// BenchmarkPredicateQuery — the value-index headline: equality and range
+// predicate lookups against extents of 1k/10k/100k persons, indexed (postings
+// hit through EvalIndexed) versus the linear extent scan (xpath.Eval). The
+// indexed/scan result sets are verified identical before timing.
+func BenchmarkPredicateQuery(b *testing.B) {
+	for _, extent := range []int{1_000, 10_000, 100_000} {
+		doc, g := predicateDoc(b, extent)
+		queries := []struct {
+			mode string
+			q    *xpath.Query
+		}{
+			// Equality: one hit, landed near the extent's end so the scan
+			// can't win by early placement.
+			{"eq", xpath.MustParse(fmt.Sprintf("//person[id='%d']/emailaddress", extent-2))},
+			// Range: the top ~100 ids, an ordered lookup over the sorted keys.
+			{"range", xpath.MustParse(fmt.Sprintf("//person[id>='%d']/emailaddress", extent-100))},
+		}
+		for _, tc := range queries {
+			indexed, ok := g.EvalIndexed(tc.q, doc)
+			if !ok {
+				b.Fatalf("extent=%d/%s: query not index-eligible", extent, tc.mode)
+			}
+			scanned := xpath.Eval(tc.q, doc)
+			if len(indexed) != len(scanned) || len(scanned) == 0 {
+				b.Fatalf("extent=%d/%s: indexed %d nodes, scan %d", extent, tc.mode, len(indexed), len(scanned))
+			}
+			for i := range indexed {
+				if indexed[i] != scanned[i] {
+					b.Fatalf("extent=%d/%s: result %d differs", extent, tc.mode, i)
+				}
+			}
+			b.Run(fmt.Sprintf("extent=%d/%s/indexed", extent, tc.mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, ok := g.EvalIndexed(tc.q, doc); !ok {
+						b.Fatal("index fallback")
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("extent=%d/%s/scan", extent, tc.mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if len(xpath.Eval(tc.q, doc)) == 0 {
+						b.Fatal("no matches")
+					}
+				}
+			})
+		}
 	}
 }
 

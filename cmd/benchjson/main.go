@@ -19,7 +19,10 @@
 // ungated. -md appends a markdown comparison table (old/new/delta per
 // benchmark) to the given file; the bench job points it at
 // $GITHUB_STEP_SUMMARY so every PR run renders the trajectory in the
-// workflow summary.
+// workflow summary. -history appends the run as ONE compact JSON line to the
+// given file (JSONL): main-branch CI points it at BENCH_history.jsonl so the
+// repository accumulates a per-commit performance trajectory that
+// plain-text bench logs and the single moving baseline both lose.
 package main
 
 import (
@@ -50,11 +53,14 @@ type Benchmark struct {
 
 // Report is the JSON document.
 type Report struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Unix       int64       `json:"generated_unix"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	Unix   int64  `json:"generated_unix"`
+	// Commit is taken from $GITHUB_SHA when set, so -history lines written
+	// by CI are attributable to the commit that produced them.
+	Commit     string      `json:"commit,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -115,9 +121,11 @@ func main() {
 		"append a markdown comparison table to this file (e.g. $GITHUB_STEP_SUMMARY); requires -baseline")
 	require := flag.String("require", "",
 		"regexp of hot-path benchmarks that MUST have a baseline entry; a match missing from the baseline fails the run (requires -baseline)")
+	history := flag.String("history", "",
+		"append the run as one compact JSON line to this JSONL file (e.g. BENCH_history.jsonl)")
 	flag.Parse()
 
-	rep := &Report{Unix: time.Now().Unix()}
+	rep := &Report{Unix: time.Now().Unix(), Commit: os.Getenv("GITHUB_SHA")}
 	if flag.NArg() == 0 {
 		if err := parse(os.Stdin, rep); err != nil {
 			fatal(err)
@@ -219,6 +227,11 @@ func main() {
 	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
+	if *history != "" {
+		if err := appendHistory(*history, rep); err != nil {
+			fatal(err)
+		}
+	}
 	if regressed {
 		fmt.Fprintln(os.Stderr, "benchjson: regression beyond -max-regress threshold")
 		os.Exit(1)
@@ -273,6 +286,25 @@ func appendMarkdown(path string, rep *Report, ref map[string]float64, maxRegress
 		return err
 	}
 	_, werr := f.WriteString(markdownSummary(rep, ref, maxRegress))
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// appendHistory writes the report as one compact JSON line (JSONL) so a
+// file of successive runs stays trivially greppable and diff-friendly.
+func appendHistory(path string, rep *Report) error {
+	line, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(append(line, '\n'))
 	cerr := f.Close()
 	if werr != nil {
 		return werr

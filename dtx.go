@@ -146,6 +146,15 @@ type Config struct {
 	// replication log in quorum mode; a follower further behind than the
 	// horizon catches up by whole-document transfer. Zero selects 512.
 	ReplHorizon int
+	// IndexedKeys names the value keys every site indexes on every document:
+	// "@name" indexes the values of attribute name, a bare element name
+	// indexes the text of elements with that label. Queries whose final step
+	// carries an equality or ordered comparison over an indexed key are
+	// answered from the index instead of scanning the matched extents.
+	IndexedKeys []string
+	// AutoIndexAfter, when positive, auto-indexes any further key once that
+	// many index-eligible queries missed on it. Zero disables auto-indexing.
+	AutoIndexAfter int
 }
 
 // Replication modes for Config.Replication.
@@ -284,6 +293,8 @@ func (c *Cluster) buildSite(i int, recovering bool) (*sched.Site, error) {
 		WriteQuorum:       c.cfg.WriteQuorum,
 		MaxStaleness:      c.cfg.MaxStaleness,
 		ReplHorizon:       c.cfg.ReplHorizon,
+		IndexedKeys:       c.cfg.IndexedKeys,
+		AutoIndexAfter:    c.cfg.AutoIndexAfter,
 		Recovering:        recovering,
 	})
 	if err := site.AttachNetwork(c.network); err != nil {

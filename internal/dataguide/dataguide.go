@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/vindex"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 )
@@ -105,6 +106,11 @@ type DataGuide struct {
 	// appears or tombstones are pruned.
 	version uint64
 	memo    map[string]*memoEntry
+
+	// vidx, when attached, is the live value index maintained alongside the
+	// extents: every extent add/remove and every text/attribute change
+	// notifies it inside the same critical section. Nil means no indexing.
+	vidx *vindex.Index
 }
 
 // memoEntry caches the structural evaluation of one query shape against one
@@ -113,8 +119,14 @@ type memoEntry struct {
 	version uint64
 	targets []*Node
 	preds   []*Node
+	// anchor caches TargetsPrefix for one prefix length (anchorN). One slot
+	// suffices: the anchor step index is a function of the query shape, and
+	// the memo is keyed by shape.
+	anchor  []*Node
+	anchorN int
 	hasT    bool
 	hasP    bool
+	hasA    bool
 }
 
 // memoCap bounds the memo map; on overflow the whole map is dropped (query
@@ -131,12 +143,12 @@ func Build(doc *xmltree.Document) *DataGuide {
 		nextID: 1,
 	}
 	g.Root = g.newNode(doc.Root.Name, nil)
-	g.addToExtent(g.Root, doc.Root.ID)
+	g.addToExtent(g.Root, doc.Root)
 	var walk func(dn *xmltree.Node, gn *Node)
 	walk = func(dn *xmltree.Node, gn *Node) {
 		for _, c := range dn.Children {
 			cg := g.ensureChild(gn, c.Name)
-			g.addToExtent(cg, c.ID)
+			g.addToExtent(cg, c)
 			walk(c, cg)
 		}
 	}
@@ -168,14 +180,20 @@ func (g *DataGuide) ensureChild(parent *Node, label string) *Node {
 	return c
 }
 
-func (g *DataGuide) addToExtent(gn *Node, id xmltree.NodeID) {
-	gn.Extent[id] = struct{}{}
-	g.byDoc[id] = gn
+func (g *DataGuide) addToExtent(gn *Node, n *xmltree.Node) {
+	gn.Extent[n.ID] = struct{}{}
+	g.byDoc[n.ID] = gn
+	if g.vidx != nil {
+		g.vidx.Add(int64(gn.ID), n)
+	}
 }
 
-func (g *DataGuide) removeFromExtent(gn *Node, id xmltree.NodeID) {
-	delete(gn.Extent, id)
-	delete(g.byDoc, id)
+func (g *DataGuide) removeFromExtent(gn *Node, n *xmltree.Node) {
+	delete(gn.Extent, n.ID)
+	delete(g.byDoc, n.ID)
+	if g.vidx != nil {
+		g.vidx.Remove(int64(gn.ID), n)
+	}
 }
 
 // Node returns the summary node with the given ID, or nil.
@@ -237,12 +255,12 @@ func (g *DataGuide) AddSubtree(n *xmltree.Node) error {
 	if err != nil {
 		return err
 	}
-	g.addToExtent(gn, n.ID)
+	g.addToExtent(gn, n)
 	var walk func(dn *xmltree.Node, parent *Node)
 	walk = func(dn *xmltree.Node, parent *Node) {
 		for _, c := range dn.Children {
 			cg := g.ensureChild(parent, c.Name)
-			g.addToExtent(cg, c.ID)
+			g.addToExtent(cg, c)
 			walk(c, cg)
 		}
 	}
@@ -255,11 +273,11 @@ func (g *DataGuide) AddSubtree(n *xmltree.Node) error {
 // subtree's byDoc entries still present.
 func (g *DataGuide) RemoveSubtree(n *xmltree.Node) {
 	if gn := g.byDoc[n.ID]; gn != nil {
-		g.removeFromExtent(gn, n.ID)
+		g.removeFromExtent(gn, n)
 	}
 	for _, d := range n.Descendants() {
 		if gn := g.byDoc[d.ID]; gn != nil {
-			g.removeFromExtent(gn, d.ID)
+			g.removeFromExtent(gn, d)
 		}
 	}
 }
@@ -335,20 +353,45 @@ func (g *DataGuide) lookupMemo(q *xpath.Query) *memoEntry {
 // Results are memoized per query shape (StructureKey) and invalidated by
 // structural version bumps, so XDGL lock derivation for a repeated query
 // template is a map hit, not a tree walk. The returned slice is shared
-// across calls and must not be mutated.
+// across calls and must not have its elements overwritten; it is clipped to
+// its length (zero spare capacity), so a caller that appends to it gets a
+// private reallocation instead of scribbling into the memo's backing array
+// that every later call — possibly on another goroutine's transaction —
+// will read.
 func (g *DataGuide) Targets(q *xpath.Query) []*Node {
 	e := g.lookupMemo(q)
 	if e.hasT {
 		return e.targets
 	}
-	e.targets = g.computeTargets(q)
+	t := g.computeTargets(q.Steps)
+	e.targets = t[:len(t):len(t)]
 	e.hasT = true
 	return e.targets
 }
 
-func (g *DataGuide) computeTargets(q *xpath.Query) []*Node {
+// TargetsPrefix returns the summary nodes reachable by the first n steps of
+// q — the anchor context for index-assisted evaluation, where the predicate
+// step need not be the final one. n == len(q.Steps) degenerates to Targets.
+// Memoized per query shape like Targets, with the same shared-slice contract
+// (clipped to zero spare capacity).
+func (g *DataGuide) TargetsPrefix(q *xpath.Query, n int) []*Node {
+	if n >= len(q.Steps) {
+		return g.Targets(q)
+	}
+	e := g.lookupMemo(q)
+	if e.hasA && e.anchorN == n {
+		return e.anchor
+	}
+	t := g.computeTargets(q.Steps[:n])
+	e.anchor = t[:len(t):len(t)]
+	e.anchorN = n
+	e.hasA = true
+	return e.anchor
+}
+
+func (g *DataGuide) computeTargets(steps []xpath.Step) []*Node {
 	ctx := []*Node{}
-	for i, step := range q.Steps {
+	for i, step := range steps {
 		var next []*Node
 		nseen := map[NodeID]bool{}
 		add := func(n *Node) {
@@ -402,13 +445,15 @@ func (g *DataGuide) computeTargets(q *xpath.Query) []*Node {
 // PredicateNodes returns, for each step of the query that has a child or
 // attribute predicate, the summary nodes of the predicate's child element
 // under that step's context. XDGL requires ST locks on these nodes.
-// Memoized like Targets; the returned slice must not be mutated.
+// Memoized like Targets; the returned slice is shared and, like Targets,
+// clipped to zero spare capacity so caller appends cannot alias the memo.
 func (g *DataGuide) PredicateNodes(q *xpath.Query) []*Node {
 	e := g.lookupMemo(q)
 	if e.hasP {
 		return e.preds
 	}
-	e.preds = g.computePredicateNodes(q)
+	p := g.computePredicateNodes(q)
+	e.preds = p[:len(p):len(p)]
 	e.hasP = true
 	return e.preds
 }

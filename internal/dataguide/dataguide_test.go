@@ -3,6 +3,7 @@ package dataguide
 import (
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -370,4 +371,55 @@ func TestTargetsMemoInvalidation(t *testing.T) {
 	if !found {
 		t.Fatal("memo served a stale target set after a structural change")
 	}
+}
+
+// TestTargetsMemoAliasRace guards the memo-slice aliasing fix: Targets,
+// PredicateNodes, and TargetsPrefix hand out capacity-clipped slices, so a
+// caller that appends to its result reallocates instead of scribbling into
+// the shared memo. Run under -race, concurrent appenders and readers on the
+// same warm memo entry must not interfere.
+func TestTargetsMemoAliasRace(t *testing.T) {
+	_, g := sample(t)
+	q := xpath.MustParse("//person/name")
+	pq := xpath.MustParse("//person[name='Ana']/name")
+	warm := append([]*Node(nil), g.Targets(q)...)
+	g.PredicateNodes(q)
+	g.TargetsPrefix(pq, 1)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				ts := g.Targets(q)
+				ts = append(ts, nil) // must reallocate, not extend the memo
+				_ = ts
+				ps := g.PredicateNodes(q)
+				ps = append(ps, nil)
+				_ = ps
+				as := g.TargetsPrefix(pq, 1)
+				as = append(as, nil)
+				_ = as
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				ts := g.Targets(q)
+				if len(ts) != len(warm) {
+					t.Error("memoized Targets length changed under concurrent appends")
+					return
+				}
+				for k := range ts {
+					if ts[k] != warm[k] {
+						t.Error("memoized Targets content changed under concurrent appends")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

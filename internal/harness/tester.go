@@ -97,6 +97,21 @@ type Params struct {
 	// EVERY site) — the fault-injection dial for bounded-staleness and
 	// quorum-under-lag chaos runs.
 	ReplApplyLag time.Duration
+	// ValuePredPct is the percentage of read operations issued as value
+	// point lookups (xmark.PredicateQueryFor — an equality predicate over the
+	// section's id key) instead of the structural query mix. The extra
+	// random draws happen only when this knob is set, so zero preserves the
+	// exact workloads of earlier seeds.
+	ValuePredPct int
+	// ValueZipf, when > 1, skews the looked-up id with a Zipf distribution
+	// (parameter s = ValueZipf) over the id domain, making low ids hot — the
+	// skew dial for index-hit-rate experiments. ≤ 1 keeps the uniform pick.
+	ValueZipf float64
+	// IndexedKeys and AutoIndexAfter configure each site's value indexes
+	// (sched.Config.IndexedKeys / AutoIndexAfter): pre-declared keys and the
+	// scan-miss threshold for auto-indexing. Empty/zero disables indexing.
+	IndexedKeys    []string
+	AutoIndexAfter int
 }
 
 // CrashStage names a 2PC stage boundary a CrashSpec can target.
@@ -192,6 +207,9 @@ type Result struct {
 	// materialisations.
 	SnapshotReads     int64
 	SnapshotPublishes int64
+	// IndexedQueries aggregates the per-site count of queries answered from
+	// a value index instead of an extent scan.
+	IndexedQueries int64
 }
 
 // DocInfo describes one targetable document: its name and the workload
@@ -261,6 +279,8 @@ func BuildCluster(p Params, hook sched.HistoryHook) (*Cluster, error) {
 			HeartbeatMisses:   2,
 			Replication:       p.Replication,
 			WriteQuorum:       p.WriteQuorum,
+			IndexedKeys:       p.IndexedKeys,
+			AutoIndexAfter:    p.AutoIndexAfter,
 		}
 		if p.ReplApplyLag > 0 {
 			// Each site gets its own hook struct: the crash victim's kill
@@ -434,12 +454,25 @@ func RunOn(ctx context.Context, cluster *Cluster, p Params) *Result {
 				}
 				return cluster.Docs[rng.Intn(len(cluster.Docs))]
 			}
+			// Value skew for point lookups, same per-client determinism as the
+			// document Zipf. Only consulted when ValuePredPct fires, so runs
+			// with the knob off draw nothing extra from the rng stream.
+			var valZipf *rand.Zipf
+			if p.ValuePredPct > 0 && p.ValueZipf > 1 {
+				valZipf = rand.NewZipf(rng, p.ValueZipf, 1, xmark.PredicateQueryRange-1)
+			}
+			pickVal := func() int64 {
+				if valZipf != nil {
+					return int64(valZipf.Uint64())
+				}
+				return int64(rng.Intn(xmark.PredicateQueryRange))
+			}
 			for t := 0; t < p.TxPerClient; t++ {
 				if ctx.Err() != nil {
 					return
 				}
 				readOnly := p.ReadOnlyPct > 0 && rng.Intn(100) < p.ReadOnlyPct
-				ops := buildTxn(p, readOnly, pick, rng, int64(c)*1000+int64(t))
+				ops := buildTxn(p, readOnly, pick, pickVal, rng, int64(c)*1000+int64(t))
 				t0 := time.Now()
 				var r *sched.Result
 				var err error
@@ -488,6 +521,7 @@ func RunOn(ctx context.Context, cluster *Cluster, p Params) *Result {
 		res.Deadlocks += int(st.DeadlockAborts)
 		res.SnapshotReads += st.SnapshotReads
 		res.SnapshotPublishes += st.SnapshotPublishes
+		res.IndexedQueries += st.IndexedQueries
 	}
 	if res.Committed > 0 {
 		res.MeanRespMs /= float64(res.Committed)
@@ -515,8 +549,10 @@ func p95(latencies []time.Duration) float64 {
 // Each operation picks a document (fragment) and then a query or update
 // against a section that document actually holds. A read-only transaction is
 // all queries; the update draw still happens so the rng stream stays aligned
-// across the read-only split.
-func buildTxn(p Params, readOnly bool, pick func() DocInfo, rng *rand.Rand, uniq int64) []txn.Operation {
+// across the read-only split. With ValuePredPct set, that share of the reads
+// become id point lookups (value picked by pickVal) — the shape the value
+// index serves.
+func buildTxn(p Params, readOnly bool, pick func() DocInfo, pickVal func() int64, rng *rand.Rand, uniq int64) []txn.Operation {
 	isUpdateTxn := rng.Intn(100) < p.UpdateTxPct && !readOnly
 	ops := make([]txn.Operation, 0, p.OpsPerTx)
 	for i := 0; i < p.OpsPerTx; i++ {
@@ -525,10 +561,13 @@ func buildTxn(p Params, readOnly bool, pick func() DocInfo, rng *rand.Rand, uniq
 		if len(doc.Sections) > 0 {
 			section = doc.Sections[rng.Intn(len(doc.Sections))]
 		}
-		if isUpdateTxn && rng.Intn(100) < p.UpdateOpPct {
+		switch {
+		case isUpdateTxn && rng.Intn(100) < p.UpdateOpPct:
 			u := xmark.UpdateFor(section, uniq*100+int64(i), rng)
 			ops = append(ops, txn.NewUpdate(doc.Name, u))
-		} else {
+		case p.ValuePredPct > 0 && rng.Intn(100) < p.ValuePredPct:
+			ops = append(ops, txn.NewQuery(doc.Name, xmark.PredicateQueryFor(section, pickVal())))
+		default:
 			ops = append(ops, txn.NewQuery(doc.Name, xmark.QueryFor(section, rng)))
 		}
 	}
@@ -544,6 +583,9 @@ func (r *Result) String() string {
 	if r.Params.ReadOnlyPct > 0 {
 		row += fmt.Sprintf(" ro=%d/%d snapreads=%d", r.ReadOnlyCommitted,
 			r.ReadOnlyCommitted+r.ReadOnlyAborted, r.SnapshotReads)
+	}
+	if r.Params.ValuePredPct > 0 || r.IndexedQueries > 0 {
+		row += fmt.Sprintf(" idxq=%d", r.IndexedQueries)
 	}
 	return row
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/txn"
+	"repro/internal/vindex"
 	"repro/internal/xmltree"
 )
 
@@ -31,6 +32,26 @@ type Version struct {
 
 	pins      int
 	published time.Time
+
+	// idx is the version's value index, built lazily by the first indexable
+	// snapshot read pinned to this version and immutable afterwards — it is
+	// derived solely from the immutable tree, so it is consistent with this
+	// version (and stamped by its TS) by construction, no matter how far the
+	// live index has advanced.
+	idxOnce sync.Once
+	idx     *vindex.DocIndex
+}
+
+// ValueIndex returns the version's snapshot value index, building it on
+// first use from keys() — the live index's enabled-key set at build time.
+// Keys enabled after the build are simply absent: reads probing them fall
+// back to scanning this version, never to the live index. Safe for
+// concurrent use by lock-free readers.
+func (v *Version) ValueIndex(keys func() []string) *vindex.DocIndex {
+	v.idxOnce.Do(func() {
+		v.idx = vindex.BuildDocIndex(v.Doc, keys())
+	})
+	return v.idx
 }
 
 // Options tunes a chain. The zero value is usable.

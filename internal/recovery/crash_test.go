@@ -26,25 +26,33 @@ const crashDocXML = `<people>
 // in-process network, and each site's FileStore + journal live under dir so
 // a killed site can be reconstructed over the same state.
 type cluster struct {
-	t       *testing.T
-	dir     string
-	net     *transport.Network
-	catalog *replica.Catalog
-	ids     []int
-	sites   []*sched.Site
-	hooks   []*sched.CrashHooks
+	t         *testing.T
+	dir       string
+	net       *transport.Network
+	catalog   *replica.Catalog
+	ids       []int
+	sites     []*sched.Site
+	hooks     []*sched.CrashHooks
+	indexKeys []string // value-index keys every (re)built site enables
 }
 
 func newCrashCluster(t *testing.T, n int) *cluster {
+	return newCrashClusterIndexed(t, n, nil)
+}
+
+// newCrashClusterIndexed is newCrashCluster with value indexes enabled at
+// every site, so restarts also exercise index reconstruction.
+func newCrashClusterIndexed(t *testing.T, n int, indexKeys []string) *cluster {
 	t.Helper()
 	c := &cluster{
-		t:       t,
-		dir:     t.TempDir(),
-		net:     transport.NewNetwork(),
-		catalog: replica.NewCatalog(),
-		ids:     make([]int, n),
-		sites:   make([]*sched.Site, n),
-		hooks:   make([]*sched.CrashHooks, n),
+		t:         t,
+		dir:       t.TempDir(),
+		net:       transport.NewNetwork(),
+		catalog:   replica.NewCatalog(),
+		ids:       make([]int, n),
+		sites:     make([]*sched.Site, n),
+		hooks:     make([]*sched.CrashHooks, n),
+		indexKeys: indexKeys,
 	}
 	for i := range c.ids {
 		c.ids[i] = i
@@ -90,6 +98,7 @@ func (c *cluster) buildSite(i int, recovering bool) *sched.Site {
 		PersistDelay:      -1, // flush without a batching window
 		HeartbeatInterval: 10 * time.Millisecond,
 		HeartbeatMisses:   2,
+		IndexedKeys:       c.indexKeys,
 		Recovering:        recovering,
 		Hooks:             c.hooks[i],
 	})

@@ -176,7 +176,17 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 	out.acquired = true
 	switch op.Kind {
 	case txn.OpQuery:
-		out.results = xpath.EvalStrings(q, ds.doc)
+		// Indexed path first: a predicate over an indexed key is answered
+		// from postings (plus residual filters) instead of scanning the
+		// matched extents. Falls back to the scan — and feeds the auto-index
+		// miss counters — when no index covers the query. Both run under
+		// ds.mu, so the index is exactly as current as the tree.
+		if nodes, ok := ds.guide.EvalIndexed(q, ds.doc); ok {
+			out.results = xpath.RenderStrings(q, nodes)
+			atomic.AddInt64(&s.stats.IndexedQueries, 1)
+		} else {
+			out.results = xpath.EvalStrings(q, ds.doc)
+		}
 		out.executed = true
 	case txn.OpUpdate:
 		// Copy-on-first-write materialisation: the first update on a clean

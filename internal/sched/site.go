@@ -43,6 +43,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/txn"
+	"repro/internal/vindex"
 	"repro/internal/wfg"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
@@ -139,6 +140,19 @@ type Config struct {
 	// document for incremental follower catch-up (zero selects 512); a
 	// follower further behind falls back to whole-document transfer.
 	ReplHorizon int
+	// IndexedKeys lists the value-index keys maintained on every document at
+	// this site: "@name" indexes the values of attribute name, a bare name
+	// indexes the text of elements with that label (serving [name='v'] child
+	// predicates and [text()='v'] on steps named name). Covered equality and
+	// range predicates are answered from postings instead of scanning the
+	// extent; everything else falls back to the scan.
+	IndexedKeys []string
+	// AutoIndexAfter, when positive, enables the auto-index heuristic: a
+	// key that would have served a predicate but is not indexed is counted
+	// on every scan fallback, and after this many misses it is indexed
+	// automatically (postings built under the domain mutex on the next
+	// locked query). Zero disables the heuristic.
+	AutoIndexAfter int
 	// Recovering starts the site in recovering state: it answers heartbeats
 	// not-ready and refuses operations until FinishRecovery, so peers keep
 	// routing around it while internal/recovery replays the journal and
@@ -254,6 +268,7 @@ type Stats struct {
 	LogRecordsApplied  int64 // shipped replication records applied at this follower
 	ReplStaleRefusals  int64 // snapshot reads refused for exceeding the staleness bound
 	ReplCatchupRecords int64 // replication records applied during recovery catch-up
+	IndexedQueries     int64 // queries answered from a value index instead of an extent scan
 }
 
 // docState bundles the in-memory representation of one document at a site:
@@ -931,6 +946,7 @@ func (s *Site) Stats() Stats {
 		LogRecordsApplied:  atomic.LoadInt64(&s.stats.LogRecordsApplied),
 		ReplStaleRefusals:  atomic.LoadInt64(&s.stats.ReplStaleRefusals),
 		ReplCatchupRecords: atomic.LoadInt64(&s.stats.ReplCatchupRecords),
+		IndexedQueries:     atomic.LoadInt64(&s.stats.IndexedQueries),
 	}
 }
 
@@ -941,6 +957,15 @@ func (s *Site) Stats() Stats {
 // After a restart this makes versions survive trivially — the chain reseeds
 // from the latest persisted state the Store (or catch-up) hands back.
 func (s *Site) newDocState(doc *xmltree.Document, g *dataguide.DataGuide) *docState {
+	if len(s.cfg.IndexedKeys) > 0 || s.cfg.AutoIndexAfter > 0 {
+		// Attaching here covers both install paths — AddDocument and the
+		// restart/recovery LoadDocument — so a replayed or caught-up document
+		// always rebuilds its postings from the recovered tree; subsequent
+		// updates (writers, follower log application, journal replay) maintain
+		// them through the guide hooks inside the same ds.mu section.
+		g.AttachIndex(vindex.New(s.cfg.IndexedKeys, s.cfg.AutoIndexAfter))
+		g.ReindexAll(doc)
+	}
 	ch := mvcc.NewChain(mvcc.Options{
 		MaxVersions: s.cfg.SnapshotVersions,
 		Retention:   s.cfg.SnapshotRetention,

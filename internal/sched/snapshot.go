@@ -10,6 +10,7 @@ import (
 	"repro/internal/mvcc"
 	"repro/internal/transport"
 	"repro/internal/txn"
+	"repro/internal/vindex"
 	"repro/internal/xpath"
 )
 
@@ -123,10 +124,37 @@ func (s *Site) snapshotRead(id txn.ID, ts txn.TS, coordinator int, docName, quer
 	}
 	set.mu.Unlock()
 
-	// The pinned tree is immutable: evaluate outside every mutex.
-	results := xpath.EvalStrings(q, pin.ver.Doc)
+	// The pinned tree is immutable: evaluate outside every mutex. An
+	// indexable query is answered from the version's own snapshot index —
+	// built lazily from the pinned tree, never from the live postings, so
+	// the read stays consistent with its pin no matter how far writers have
+	// advanced the live index.
+	results, indexed := s.snapshotEval(ds, q, pin.ver)
+	if indexed {
+		atomic.AddInt64(&s.stats.IndexedQueries, 1)
+	}
 	atomic.AddInt64(&s.stats.SnapshotReads, 1)
 	return localResult{executed: true, acquired: true, results: results}, pin.ver.TS
+}
+
+// snapshotEval evaluates a snapshot read's query against its pinned
+// version, through the version's value index when one covers the query.
+// Keys enabled after the version's index was built are absent from it, so
+// those reads fall back to scanning the pinned tree; cold keys still feed
+// the live index's auto-index miss counters (a lock-free counter bump).
+func (s *Site) snapshotEval(ds *docState, q *xpath.Query, ver *mvcc.Version) ([]string, bool) {
+	if ix := ds.guide.ValueIndex(); ix != nil {
+		if plan, ok := vindex.PlanQuery(q); ok {
+			if ix.Enabled(plan.Key) {
+				if nodes, ok := ver.ValueIndex(ix.Keys).Eval(q, plan); ok {
+					return xpath.RenderStrings(q, nodes), true
+				}
+			} else {
+				ix.NoteMiss(plan.Key)
+			}
+		}
+	}
+	return xpath.EvalStrings(q, ver.Doc), false
 }
 
 // pinDocVersion pins the newest committed version of the document at or

@@ -80,6 +80,33 @@ func QueryFor(section string, rng *rand.Rand) string {
 	return qs[rng.Intn(len(qs))]
 }
 
+// PredicateQueryRange is the id domain PredicateQueryFor draws from. Ids in
+// generated documents are dense from zero per section, so small documents
+// make some lookups miss — a realistic point-query mix either way.
+const PredicateQueryRange = 512
+
+// PredicateQueryFor returns a point lookup for the section: an equality
+// predicate over the section's id element, the query shape the value index
+// serves. Index the "id" key (or let auto-indexing promote it) to take these
+// off the scan path.
+func PredicateQueryFor(section string, id int64) string {
+	if region, ok := strings.CutPrefix(section, "regions/"); ok {
+		return fmt.Sprintf("//%s/item[id='%d']/name", region, id)
+	}
+	switch section {
+	case "people":
+		return fmt.Sprintf("//person[id='%d']/emailaddress", id)
+	case "open_auctions":
+		return fmt.Sprintf("//open_auction[id='%d']/current", id)
+	case "closed_auctions":
+		return fmt.Sprintf("//closed_auction[id='%d']/price", id)
+	case "categories":
+		return fmt.Sprintf("//category[id='%d']/name", id)
+	default:
+		return fmt.Sprintf("//person[id='%d']/name", id)
+	}
+}
+
 // UpdateFor returns an update targeting the given section.
 func UpdateFor(section string, uniq int64, rng *rand.Rand) *xupdate.Update {
 	if region, ok := strings.CutPrefix(section, "regions/"); ok {

@@ -1,6 +1,10 @@
 package xpath
 
 import (
+	"math"
+	"strconv"
+	"strings"
+
 	"repro/internal/xmltree"
 )
 
@@ -74,10 +78,55 @@ func Eval(q *Query, doc *xmltree.Document) []*xmltree.Node {
 	return sortDocOrder(ctx)
 }
 
+// EvalSteps expands a context node set through the given steps, mirroring
+// Eval's non-initial step semantics: child/descendant axis expansion,
+// predicate filtering and per-step dedupe, with no document-order sort of
+// the result. Index-assisted evaluation uses it to resolve the steps that
+// follow an indexed predicate step.
+func EvalSteps(steps []Step, ctx []*xmltree.Node) []*xmltree.Node {
+	for _, step := range steps {
+		var next []*xmltree.Node
+		seen := make(map[xmltree.NodeID]bool)
+		add := func(n *xmltree.Node) {
+			if !seen[n.ID] {
+				seen[n.ID] = true
+				next = append(next, n)
+			}
+		}
+		for _, c := range ctx {
+			switch step.Axis {
+			case Child:
+				for _, child := range c.Children {
+					if nameMatches(step.Name, child.Name) {
+						add(child)
+					}
+				}
+			case Descendant:
+				for _, d := range c.Descendants() {
+					if nameMatches(step.Name, d.Name) {
+						add(d)
+					}
+				}
+			}
+		}
+		ctx = applyPreds(step.Preds, next)
+		if len(ctx) == 0 {
+			return nil
+		}
+	}
+	return ctx
+}
+
 // EvalStrings evaluates q and renders each match as a string: the attribute
 // value for attribute queries, otherwise the node's text content.
 func EvalStrings(q *Query, doc *xmltree.Document) []string {
-	nodes := Eval(q, doc)
+	return RenderStrings(q, Eval(q, doc))
+}
+
+// RenderStrings renders nodes already selected for q the way EvalStrings
+// would: the attribute value for attribute queries, otherwise node text.
+// Index-assisted evaluation paths use it to produce scan-identical output.
+func RenderStrings(q *Query, nodes []*xmltree.Node) []string {
 	out := make([]string, 0, len(nodes))
 	for _, n := range nodes {
 		if q.Attr != "" {
@@ -111,6 +160,14 @@ func applyPreds(preds []Pred, nodes []*xmltree.Node) []*xmltree.Node {
 }
 
 func matchPred(p Pred, n *xmltree.Node, idx int) bool {
+	return p.Match(n, idx)
+}
+
+// Match reports whether n at 1-based position idx+1 within its filtered
+// context satisfies the predicate. Position predicates depend on idx; the
+// value predicates ignore it, which lets index-assisted evaluation apply
+// them as residual filters over candidate sets in any order.
+func (p Pred) Match(n *xmltree.Node, idx int) bool {
 	switch p.Kind {
 	case PredPosition:
 		return idx+1 == p.Position
@@ -119,12 +176,12 @@ func matchPred(p Pred, n *xmltree.Node, idx int) bool {
 		if !ok {
 			return false
 		}
-		return cmp(p.Op, v, p.Value)
+		return Compare(p.Op, v, p.Value)
 	case PredText:
-		return cmp(p.Op, n.Text, p.Value)
+		return Compare(p.Op, n.Text, p.Value)
 	case PredChild:
 		for _, c := range n.Children {
-			if c.Name == p.Name && cmp(p.Op, c.Text, p.Value) {
+			if c.Name == p.Name && Compare(p.Op, c.Text, p.Value) {
 				return true
 			}
 		}
@@ -136,17 +193,63 @@ func matchPred(p Pred, n *xmltree.Node, idx int) bool {
 	}
 }
 
-func cmp(op CmpOp, a, b string) bool {
-	if op == Neq {
+// Compare applies a predicate comparison operator. Equality is exact string
+// comparison; the ordered operators go through the CompareValues total order
+// so scans and index range lookups agree on every input.
+func Compare(op CmpOp, a, b string) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Neq:
 		return a != b
+	case Lt:
+		return CompareValues(a, b) < 0
+	case Le:
+		return CompareValues(a, b) <= 0
+	case Gt:
+		return CompareValues(a, b) > 0
+	case Ge:
+		return CompareValues(a, b) >= 0
 	}
-	return a == b
+	return false
+}
+
+// CompareValues is the total order behind the ordered predicate operators
+// and the vindex sorted-key slices: values that parse as (finite) numbers
+// compare numerically and sort before non-numeric values; numeric ties and
+// non-numeric values fall back to byte-wise comparison so distinct strings
+// never compare equal.
+func CompareValues(a, b string) int {
+	fa, ea := strconv.ParseFloat(a, 64)
+	fb, eb := strconv.ParseFloat(b, 64)
+	aNum := ea == nil && !math.IsNaN(fa)
+	bNum := eb == nil && !math.IsNaN(fb)
+	switch {
+	case aNum && bNum:
+		if fa < fb {
+			return -1
+		}
+		if fa > fb {
+			return 1
+		}
+	case aNum:
+		return -1
+	case bNum:
+		return 1
+	}
+	return strings.Compare(a, b)
 }
 
 // sortDocOrder orders nodes by document position. Matches are produced in
 // walk order per step, but predicate filtering and multi-context merging can
 // interleave branches, so we re-sort by a depth-first ranking.
 func sortDocOrder(nodes []*xmltree.Node) []*xmltree.Node {
+	return SortDocOrder(nodes)
+}
+
+// SortDocOrder orders nodes of one document by document position; exported
+// for index-assisted evaluation, which assembles candidates out of order.
+func SortDocOrder(nodes []*xmltree.Node) []*xmltree.Node {
 	if len(nodes) <= 1 {
 		return nodes
 	}

@@ -14,7 +14,7 @@
 //	          | NAME cmp literal
 //	          | "text" "(" ")" cmp literal
 //	          | NUMBER
-//	cmp       = "=" | "!="
+//	cmp       = "=" | "!=" | "<" | "<=" | ">" | ">="
 //	literal   = "'" chars "'" | `"` chars `"` | NUMBER
 package xpath
 
@@ -37,6 +37,10 @@ const (
 	tokRBracket
 	tokEq
 	tokNeq
+	tokLt
+	tokLe
+	tokGt
+	tokGe
 	tokString
 	tokNumber
 	tokLParen
@@ -65,6 +69,14 @@ func (k tokKind) String() string {
 		return "'='"
 	case tokNeq:
 		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
 	case tokString:
 		return "string literal"
 	case tokNumber:
@@ -156,6 +168,20 @@ func (l *lexer) next() (token, error) {
 			return token{kind: tokNeq, text: "!=", pos: start}, nil
 		}
 		return token{}, l.errf(start, "unexpected '!'")
+	case c == '<':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokLe, text: "<=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokLt, text: "<", pos: start}, nil
+	case c == '>':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokGe, text: ">=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokGt, text: ">", pos: start}, nil
 	case c == '\'' || c == '"':
 		quote := c
 		l.pos++

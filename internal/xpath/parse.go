@@ -35,17 +35,37 @@ const (
 // CmpOp is a predicate comparison operator.
 type CmpOp int
 
-// Comparison operators.
+// Comparison operators. The ordered operators compare with CompareValues
+// (numeric when both sides parse as numbers, byte-wise otherwise).
 const (
 	Eq CmpOp = iota
 	Neq
+	Lt
+	Le
+	Gt
+	Ge
 )
 
 func (op CmpOp) String() string {
-	if op == Neq {
+	switch op {
+	case Neq:
 		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
 	}
 	return "="
+}
+
+// Ordered reports whether op is one of the range operators (<, <=, >, >=),
+// which an index serves with a sorted-key scan rather than a map hit.
+func (op CmpOp) Ordered() bool {
+	return op == Lt || op == Le || op == Gt || op == Ge
 }
 
 // Pred is one bracketed predicate of a step.
@@ -315,8 +335,16 @@ func (p *parser) parseCmp() (CmpOp, string, error) {
 		op = Eq
 	case tokNeq:
 		op = Neq
+	case tokLt:
+		op = Lt
+	case tokLe:
+		op = Le
+	case tokGt:
+		op = Gt
+	case tokGe:
+		op = Ge
 	default:
-		return 0, "", p.lex.errf(p.tok.pos, "expected '=' or '!=', found %v", p.tok.kind)
+		return 0, "", p.lex.errf(p.tok.pos, "expected comparison operator, found %v", p.tok.kind)
 	}
 	if err := p.advance(); err != nil {
 		return 0, "", err

@@ -243,8 +243,10 @@ type undoChangeText struct {
 	oldText string
 }
 
-func (a undoChangeText) undo(*xmltree.Document, *dataguide.DataGuide) error {
+func (a undoChangeText) undo(_ *xmltree.Document, g *dataguide.DataGuide) error {
+	old := a.node.Text
 	a.node.Text = a.oldText
+	g.NoteTextChanged(a.node, old)
 	return nil
 }
 
@@ -255,12 +257,15 @@ type undoChangeAttr struct {
 	existed bool
 }
 
-func (a undoChangeAttr) undo(*xmltree.Document, *dataguide.DataGuide) error {
+func (a undoChangeAttr) undo(_ *xmltree.Document, g *dataguide.DataGuide) error {
+	var prev string
+	var existed bool
 	if a.existed {
-		a.node.SetAttr(a.attr, a.oldVal)
+		prev, existed = a.node.SetAttr(a.attr, a.oldVal)
 	} else {
-		a.node.RemoveAttr(a.attr)
+		prev, existed = a.node.RemoveAttr(a.attr)
 	}
+	g.NoteAttrChanged(a.node, a.attr, prev, existed)
 	return nil
 }
 
@@ -349,10 +354,13 @@ func ApplyToTargets(u *Update, doc *xmltree.Document, g *dataguide.DataGuide, ta
 		for _, target := range targets {
 			if u.Attr != "" {
 				prev, existed := target.SetAttr(u.Attr, u.Value)
+				g.NoteAttrChanged(target, u.Attr, prev, existed)
 				rec.actions = append(rec.actions, undoChangeAttr{node: target, attr: u.Attr, oldVal: prev, existed: existed})
 			} else {
-				rec.actions = append(rec.actions, undoChangeText{node: target, oldText: target.Text})
+				old := target.Text
+				rec.actions = append(rec.actions, undoChangeText{node: target, oldText: old})
 				target.Text = u.Value
+				g.NoteTextChanged(target, old)
 			}
 		}
 	case Transpose:
