@@ -69,6 +69,38 @@ func runWorkload(b *testing.B, p harness.Params) {
 	b.ReportMetric(tps/n, "tx/s")
 }
 
+// runProfiledWorkload is runWorkload with the registry-backed latency
+// breakdown enabled: ablations answer *why* a variant wins, so the
+// per-phase quantiles are the point. Arming the registries costs the gated
+// histogram observations, which is why only the ablation benchmarks (never
+// the gated HOT_BENCH set) run profiled.
+func runProfiledWorkload(b *testing.B, p harness.Params) {
+	b.Helper()
+	p.LatencyProfile = true
+	var resp, dl, tps float64
+	var last *harness.Result
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i)*7919 + 1
+		res, err := harness.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp += res.MeanRespMs
+		dl += float64(res.Deadlocks)
+		tps += res.ThroughputTPS
+		last = res
+	}
+	n := float64(b.N)
+	b.ReportMetric(resp/n, "resp_ms")
+	b.ReportMetric(dl/n, "deadlocks")
+	b.ReportMetric(tps/n, "tx/s")
+	if bd := last.Breakdown; bd != nil {
+		b.ReportMetric(bd.LockWait.P99Ms, "lockwait_p99_ms")
+		b.ReportMetric(bd.CommitFanout.P99Ms, "fanout_p99_ms")
+		b.Logf("%s", last)
+	}
+}
+
 // BenchmarkFig09Clients — Fig. 9: response time vs number of clients for
 // read-only transactions, under total and partial replication, XDGL vs
 // Node2PL.
@@ -412,12 +444,16 @@ func BenchmarkFollowerReadScaling(b *testing.B) {
 
 // BenchmarkAblationProtocol compares all three protocols, adding the
 // whole-document lock the paper discusses as the traditional baseline.
+// Runs profiled: `go test -bench BenchmarkAblationProtocol -v` prints each
+// protocol's per-phase latency breakdown (and reports lockwait_p99_ms /
+// fanout_p99_ms), so the comparison shows where the response time goes,
+// not just which variant has more of it.
 func BenchmarkAblationProtocol(b *testing.B) {
 	for _, proto := range []string{"xdgl", "xdgl-noguard", "node2pl", "doclock"} {
 		b.Run(proto, func(b *testing.B) {
 			p := benchParams(proto)
 			p.UpdateTxPct = 40
-			runWorkload(b, p)
+			runProfiledWorkload(b, p)
 		})
 	}
 }
@@ -735,6 +771,53 @@ func BenchmarkSingleSiteTxn(b *testing.B) {
 		if !res.Committed {
 			b.Fatal("txn did not commit")
 		}
+	}
+}
+
+// BenchmarkObsOverhead measures the observability layer's cost on the
+// distributed-commit hot path: the same transaction as BenchmarkDistributedTxn
+// with the metrics registry unarmed (the default — every histogram observation
+// and span gated off behind one atomic load) and armed (all latency
+// histograms live, the state a scraped site runs in). Gated in CI as a
+// hot-path benchmark: the off variant is the zero-overhead contract.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, armed := range []bool{false, true} {
+		mode := "off"
+		if armed {
+			mode = "armed"
+		}
+		b.Run(mode, func(b *testing.B) {
+			cluster, err := New(Config{Sites: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Close()
+			doc := benchDoc(b, 64<<10)
+			if err := cluster.LoadXML("x", doc.String()); err != nil {
+				b.Fatal(err)
+			}
+			if armed {
+				for site := 0; site < 2; site++ {
+					reg, err := cluster.Metrics(site)
+					if err != nil {
+						b.Fatal(err)
+					}
+					reg.Arm()
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.Submit(0,
+					Change("x", "/site/open_auctions/open_auction[1]/current", "42.00"),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Committed {
+					b.Fatal("txn did not commit")
+				}
+			}
+		})
 	}
 }
 

@@ -18,7 +18,8 @@
 //
 // Operator commands (instead of -op):
 //
-//	dtxctl -addr localhost:7070 -status    # documents, liveness view, in-doubt txns
+//	dtxctl -addr localhost:7070 -status    # liveness, replication lag, in-doubt txns
+//	dtxctl -addr localhost:7070 -metrics   # dump the site's metrics (Prometheus text)
 //	dtxctl -addr localhost:7070 -recover   # drain + resolve in-doubt txns online
 package main
 
@@ -47,7 +48,8 @@ func (s *stringList) Set(v string) error {
 func main() {
 	addr := flag.String("addr", "localhost:7070", "dtxd site address")
 	timeout := flag.Duration("timeout", 0, "overall transaction timeout (0 = none); on expiry the transaction is aborted and its locks released")
-	status := flag.Bool("status", false, "print the site's status (documents, liveness view, in-doubt transactions) and exit")
+	status := flag.Bool("status", false, "print the site's status (documents, replication lag, liveness view, in-doubt transactions) and exit")
+	metrics := flag.Bool("metrics", false, "dump the site's metrics registry in Prometheus text format and exit")
 	recoverPass := flag.Bool("recover", false, "run an online recovery pass on the site (drain + resolve journal in-doubt transactions) and exit")
 	readOnly := flag.Bool("ro", false, "submit as a read-only snapshot transaction: queries only, served lock-free from committed document versions")
 	var opSpecs stringList
@@ -61,8 +63,8 @@ func main() {
 		defer cancel()
 	}
 
-	if !*status && !*recoverPass && len(opSpecs) == 0 {
-		fatal(fmt.Errorf("no operations; use -op, -status or -recover (see -h)"))
+	if !*status && !*metrics && !*recoverPass && len(opSpecs) == 0 {
+		fatal(fmt.Errorf("no operations; use -op, -status, -metrics or -recover (see -h)"))
 	}
 	var ops []txn.Operation
 	for _, spec := range opSpecs {
@@ -96,6 +98,10 @@ func main() {
 
 	if *status {
 		printStatus(ctx, node)
+		return
+	}
+	if *metrics {
+		printMetrics(ctx, node)
 		return
 	}
 	if *recoverPass {
@@ -151,7 +157,23 @@ func printStatus(ctx context.Context, node *transport.TCPNode) {
 	}
 	fmt.Printf("site %d: %s\n", st.Site, state)
 	fmt.Printf("txns: %d committed, %d aborted, %d failed\n", st.Committed, st.Aborted, st.Failed)
-	fmt.Printf("documents (%d): %s\n", len(st.Documents), strings.Join(st.Documents, ", "))
+	if len(st.Docs) > 0 {
+		fmt.Printf("documents (%d):\n", len(st.Docs))
+		for _, d := range st.Docs {
+			if d.Role == "primary" {
+				fmt.Printf("  %s: primary, head %d\n", d.Name, d.Head)
+				continue
+			}
+			lag := "caught up"
+			if d.Behind > 0 {
+				lag = fmt.Sprintf("%d record(s) behind head %d", d.Behind, d.Head)
+			}
+			fmt.Printf("  %s: replica of site %d, applied %d, %s\n",
+				d.Name, d.Primary, d.Applied, lag)
+		}
+	} else {
+		fmt.Printf("documents (%d): %s\n", len(st.Documents), strings.Join(st.Documents, ", "))
+	}
 	for _, p := range st.Peers {
 		fmt.Printf("peer %d: %s\n", p.Site, p.Status)
 	}
@@ -165,6 +187,20 @@ func printStatus(ctx context.Context, node *transport.TCPNode) {
 	// In-doubt transactions on a running site usually just mean persists in
 	// flight; `dtxctl -recover` drains and resolves whatever remains.
 	os.Exit(4)
+}
+
+// printMetrics dumps the site's registry in Prometheus text format — the
+// transport-level scrape for sites running without an HTTP listener.
+func printMetrics(ctx context.Context, node *transport.TCPNode) {
+	resp, err := node.Send(ctx, 0, transport.MetricsReq{})
+	if err != nil {
+		fatal(err)
+	}
+	m, ok := resp.(transport.MetricsResp)
+	if !ok {
+		fatal(fmt.Errorf("unexpected response %T", resp))
+	}
+	fmt.Print(m.Text)
 }
 
 // runRecover triggers an online recovery pass and prints its report.

@@ -25,6 +25,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -33,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/replica"
 	"repro/internal/sched"
@@ -57,6 +61,8 @@ func main() {
 	journalOn := flag.Bool("journal", true, "write-ahead log commits to <store>/commit.log")
 	recoverFlag := flag.Bool("recover", false, "start in crash-recovery mode: resolve journal in-doubt transactions and catch documents up from live replicas before serving")
 	heartbeatMs := flag.Int("heartbeat-ms", 500, "liveness heartbeat period (ms); 0 disables failure detection")
+	metricsAddr := flag.String("metrics-addr", "", "address to serve /metrics, /healthz and /debug/pprof/ on (empty disables)")
+	slowTxn := flag.Duration("slow-txn", -1, "trace transactions at or above this duration as JSON lines on stderr; 0 traces every transaction, negative disables")
 	var peers, docs, places stringList
 	flag.Var(&peers, "peer", "peer site as id=host:port (repeatable)")
 	flag.Var(&docs, "doc", "document to load from the store at startup (repeatable)")
@@ -105,7 +111,7 @@ func main() {
 		allSites = append(allSites, id)
 	}
 
-	site := sched.New(sched.Config{
+	cfg := sched.Config{
 		SiteID:            *siteID,
 		Sites:             allSites,
 		Protocol:          proto,
@@ -115,7 +121,12 @@ func main() {
 		DeadlockInterval:  time.Duration(*deadlockMs) * time.Millisecond,
 		HeartbeatInterval: time.Duration(*heartbeatMs) * time.Millisecond,
 		Recovering:        *recoverFlag,
-	})
+	}
+	if *slowTxn >= 0 {
+		cfg.SlowTxnThreshold = *slowTxn
+		cfg.TraceSink = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	site := sched.New(cfg)
 	if !*recoverFlag {
 		if len(docs) == 0 {
 			// No explicit -doc flags: recover everything the store holds.
@@ -191,6 +202,18 @@ func main() {
 	fmt.Printf("dtxd: site %d serving on %s (protocol %s, %d peer(s))\n",
 		*siteID, node.Addr(), proto.Name(), len(peerAddrs))
 
+	if *metricsAddr != "" {
+		// Serving metrics arms the gated instrumentation up front, so the
+		// first scrape already sees populated histograms.
+		site.Metrics().Arm()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		fmt.Printf("dtxd: metrics on http://%s/metrics\n", ln.Addr())
+		go func() { _ = http.Serve(ln, metricsMux(site)) }()
+	}
+
 	// Stop on SIGINT/SIGTERM. Stopping the site cancels every live
 	// transaction session coordinated here: waiters are unblocked and their
 	// locks released before the process exits.
@@ -199,6 +222,28 @@ func main() {
 	<-ctx.Done()
 	fmt.Println("dtxd: shutting down")
 	site.Stop()
+}
+
+// metricsMux builds the observability endpoint set: Prometheus text on
+// /metrics, a readiness probe on /healthz (503 while recovering or killed),
+// and the runtime profiles under /debug/pprof/. Registered on a private mux
+// so nothing else in the process can leak handlers onto the metrics port.
+func metricsMux(site *sched.Site) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(site.Metrics()))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if site.Ready() {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		http.Error(w, "recovering", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func splitPeer(s string) (int, string, error) {

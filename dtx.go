@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/recovery"
 	"repro/internal/replica"
 	"repro/internal/sched"
@@ -155,6 +156,15 @@ type Config struct {
 	// AutoIndexAfter, when positive, auto-indexes any further key once that
 	// many index-eligible queries missed on it. Zero disables auto-indexing.
 	AutoIndexAfter int
+	// SlowTxnThreshold enables the structured transaction tracer: every
+	// transaction whose total time reaches the threshold emits one JSON line
+	// (begin, per-operation lock waits, each 2PC phase, quorum ack, finish)
+	// to TraceSink. Zero leaves tracing off unless TraceSink is set, in which
+	// case EVERY transaction is traced — the trace-everything debugging mode.
+	SlowTxnThreshold time.Duration
+	// TraceSink receives one line of JSON per traced transaction. It must not
+	// call back into the cluster.
+	TraceSink func(line string)
 }
 
 // Replication modes for Config.Replication.
@@ -295,6 +305,8 @@ func (c *Cluster) buildSite(i int, recovering bool) (*sched.Site, error) {
 		ReplHorizon:       c.cfg.ReplHorizon,
 		IndexedKeys:       c.cfg.IndexedKeys,
 		AutoIndexAfter:    c.cfg.AutoIndexAfter,
+		SlowTxnThreshold:  c.cfg.SlowTxnThreshold,
+		TraceSink:         c.cfg.TraceSink,
 		Recovering:        recovering,
 	})
 	if err := site.AttachNetwork(c.network); err != nil {
@@ -507,6 +519,45 @@ func (c *Cluster) SiteStats(site int) (Stats, error) {
 		return Stats{}, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.ids))
 	}
 	return c.site(site).Stats(), nil
+}
+
+// TotalStats sums the counters of every site — the cluster-wide view of the
+// per-site registries.
+func (c *Cluster) TotalStats() Stats {
+	var t Stats
+	for _, s := range c.allSites() {
+		st := s.Stats()
+		t.TxnsCommitted += st.TxnsCommitted
+		t.TxnsAborted += st.TxnsAborted
+		t.TxnsFailed += st.TxnsFailed
+		t.DeadlockAborts += st.DeadlockAborts
+		t.LocalDeadlocks += st.LocalDeadlocks
+		t.DistDeadlocks += st.DistDeadlocks
+		t.OpsExecuted += st.OpsExecuted
+		t.OpConflicts += st.OpConflicts
+		t.RemoteOpsSent += st.RemoteOpsSent
+		t.RemoteOpsProcessed += st.RemoteOpsProcessed
+		t.LocksAcquired += st.LocksAcquired
+		t.PersistErrors += st.PersistErrors
+		t.SnapshotReads += st.SnapshotReads
+		t.SnapshotPublishes += st.SnapshotPublishes
+		t.LogRecordsShipped += st.LogRecordsShipped
+		t.LogRecordsApplied += st.LogRecordsApplied
+		t.ReplStaleRefusals += st.ReplStaleRefusals
+		t.ReplCatchupRecords += st.ReplCatchupRecords
+		t.IndexedQueries += st.IndexedQueries
+	}
+	return t
+}
+
+// Metrics returns one site's observability registry (see internal/obs): the
+// counters behind SiteStats plus the armed-gated latency histograms. Arm it
+// to enable the histograms; render it with its Text method or obs.Handler.
+func (c *Cluster) Metrics(site int) (*obs.Registry, error) {
+	if site < 0 || site >= len(c.ids) {
+		return nil, fmt.Errorf("%w: site %d (cluster has %d)", ErrSiteOutOfRange, site, len(c.ids))
+	}
+	return c.site(site).Metrics(), nil
 }
 
 // CheckDeadlocks runs one distributed deadlock-detection sweep from the

@@ -410,3 +410,35 @@ func TestSnapshotHotDocZipfWorkload(t *testing.T) {
 		t.Fatal("no read-only transaction committed")
 	}
 }
+
+// TestLatencyProfileBreakdown pins the registry-backed per-phase view:
+// LatencyProfile arms every site, fills Result.Breakdown from the merged
+// histograms, and String() renders the phase row ablation runs compare on.
+func TestLatencyProfileBreakdown(t *testing.T) {
+	res, err := Run(quickParams(func(p *Params) {
+		p.LatencyProfile = true
+		p.Clients = 6
+		p.TxPerClient = 4
+		p.UpdateTxPct = 60
+		p.UpdateOpPct = 60
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := res.Breakdown
+	if bd == nil {
+		t.Fatal("LatencyProfile set but Result.Breakdown is nil")
+	}
+	// Every transaction executes operations, so the exec phase must have
+	// observations; lock-wait and 2PC phases may legitimately be zero on an
+	// uncontended or single-site run, so only exec is asserted non-zero.
+	if bd.Exec.P99Ms <= 0 {
+		t.Fatalf("exec phase unobserved: %+v", bd)
+	}
+	if bd.Exec.P50Ms > bd.Exec.P99Ms {
+		t.Fatalf("p50 %.3f > p99 %.3f", bd.Exec.P50Ms, bd.Exec.P99Ms)
+	}
+	if row := res.String(); !strings.Contains(row, "phase ms") {
+		t.Fatalf("String() missing breakdown row:\n%s", row)
+	}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/sched"
 	"repro/internal/store"
@@ -112,6 +114,12 @@ type Params struct {
 	// scan-miss threshold for auto-indexing. Empty/zero disables indexing.
 	IndexedKeys    []string
 	AutoIndexAfter int
+	// LatencyProfile arms every site's metrics registry and attaches a
+	// per-phase latency breakdown (p50/p99 lock-wait, operation execute, 2PC
+	// phases, persist Save) to the Result — the registry-backed view of where
+	// a run's response time went. Off by default: arming enables the gated
+	// histogram observations on every hot path.
+	LatencyProfile bool
 }
 
 // CrashStage names a 2PC stage boundary a CrashSpec can target.
@@ -210,6 +218,29 @@ type Result struct {
 	// IndexedQueries aggregates the per-site count of queries answered from
 	// a value index instead of an extent scan.
 	IndexedQueries int64
+	// Breakdown is the per-phase latency view, filled when
+	// Params.LatencyProfile armed the registries.
+	Breakdown *LatencyBreakdown
+}
+
+// PhaseLatency is one phase's merged-across-sites latency quantiles, in
+// milliseconds. NaN-free: phases with no observations report zero.
+type PhaseLatency struct {
+	P50Ms float64
+	P99Ms float64
+}
+
+// LatencyBreakdown decomposes a run's response time into the instrumented
+// phases, computed from the sites' metric registries (obs.Quantile over the
+// merged histograms of every site, and every document for the per-document
+// families).
+type LatencyBreakdown struct {
+	LockWait      PhaseLatency // blocked-on-lock time per granted wait
+	Exec          PhaseLatency // per-operation execute (grant + apply)
+	DecisionWrite PhaseLatency // 2PC durable decision record
+	CommitFanout  PhaseLatency // 2PC commit fan-out to participants
+	QuorumAck     PhaseLatency // quorum-replication ack wait (quorum mode)
+	PersistSave   PhaseLatency // background Store.Save
 }
 
 // DocInfo describes one targetable document: its name and the workload
@@ -300,6 +331,9 @@ func BuildCluster(p Params, hook sched.HistoryHook) (*Cluster, error) {
 			cfg.Hooks = crashHooks
 		}
 		sites[i] = sched.New(cfg)
+		if p.LatencyProfile {
+			sites[i].Metrics().Arm()
+		}
 		if err := sites[i].AttachNetwork(net); err != nil {
 			return nil, err
 		}
@@ -529,7 +563,48 @@ func RunOn(ctx context.Context, cluster *Cluster, p Params) *Result {
 	}
 	sort.Slice(res.CommitTimes, func(i, j int) bool { return res.CommitTimes[i] < res.CommitTimes[j] })
 	res.P95RespMs = p95(latencies)
+	if p.LatencyProfile {
+		res.Breakdown = collectBreakdown(cluster)
+	}
 	return res
+}
+
+// collectBreakdown merges each phase's histograms across every site (and
+// every document, for the per-document families) and reads the p50/p99
+// quantiles. Registry accessors are get-or-return, so looking a family up by
+// its exposition name yields the very histograms the schedulers observe into.
+func collectBreakdown(cluster *Cluster) *LatencyBreakdown {
+	var lockWait, exec, decision, fanout, quorum, persist []*obs.Histogram
+	for _, s := range cluster.Sites {
+		reg := s.Metrics()
+		lockWait = append(lockWait, reg.HistogramVec("dtx_lock_wait_seconds", "", "doc", obs.LatencyBuckets).Children()...)
+		exec = append(exec, reg.HistogramVec("dtx_op_exec_seconds", "", "doc", obs.LatencyBuckets).Children()...)
+		decision = append(decision, reg.Histogram("dtx_2pc_decision_write_seconds", "", obs.LatencyBuckets))
+		fanout = append(fanout, reg.Histogram("dtx_2pc_commit_fanout_seconds", "", obs.LatencyBuckets))
+		quorum = append(quorum, reg.Histogram("dtx_2pc_quorum_ack_seconds", "", obs.LatencyBuckets))
+		persist = append(persist, reg.HistogramVec("dtx_persist_save_seconds", "", "doc", obs.LatencyBuckets).Children()...)
+	}
+	return &LatencyBreakdown{
+		LockWait:      phaseLatency(lockWait),
+		Exec:          phaseLatency(exec),
+		DecisionWrite: phaseLatency(decision),
+		CommitFanout:  phaseLatency(fanout),
+		QuorumAck:     phaseLatency(quorum),
+		PersistSave:   phaseLatency(persist),
+	}
+}
+
+// phaseLatency reads p50/p99 in milliseconds from merged histograms,
+// mapping the NaN of an unobserved phase to zero.
+func phaseLatency(hists []*obs.Histogram) PhaseLatency {
+	ms := func(q float64) float64 {
+		v := obs.Quantile(q, hists...)
+		if math.IsNaN(v) {
+			return 0
+		}
+		return v * 1000
+	}
+	return PhaseLatency{P50Ms: ms(0.5), P99Ms: ms(0.99)}
 }
 
 // p95 returns the 95th-percentile latency in milliseconds.
@@ -586,6 +661,12 @@ func (r *Result) String() string {
 	}
 	if r.Params.ValuePredPct > 0 || r.IndexedQueries > 0 {
 		row += fmt.Sprintf(" idxq=%d", r.IndexedQueries)
+	}
+	if b := r.Breakdown; b != nil {
+		row += fmt.Sprintf("\n  phase ms (p50/p99): lock-wait=%.2f/%.2f exec=%.2f/%.2f 2pc-decision=%.2f/%.2f 2pc-fanout=%.2f/%.2f quorum-ack=%.2f/%.2f persist=%.2f/%.2f",
+			b.LockWait.P50Ms, b.LockWait.P99Ms, b.Exec.P50Ms, b.Exec.P99Ms,
+			b.DecisionWrite.P50Ms, b.DecisionWrite.P99Ms, b.CommitFanout.P50Ms, b.CommitFanout.P99Ms,
+			b.QuorumAck.P50Ms, b.QuorumAck.P99Ms, b.PersistSave.P50Ms, b.PersistSave.P99Ms)
 	}
 	return row
 }

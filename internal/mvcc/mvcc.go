@@ -82,6 +82,7 @@ type Chain struct {
 	commitTS  txn.TS
 	maxKeep   int
 	retention time.Duration
+	reclaimed int64 // versions retired by gcLocked over the chain's lifetime
 }
 
 // NewChain builds an empty chain.
@@ -182,6 +183,27 @@ func (c *Chain) Len() int {
 	return len(c.versions)
 }
 
+// Pinned returns the number of retained versions with at least one live pin.
+func (c *Chain) Pinned() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.versions {
+		if v.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reclaimed returns how many versions GC has retired over the chain's
+// lifetime — a monotonic counter for observability.
+func (c *Chain) Reclaimed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reclaimed
+}
+
 // gcLocked retires versions: the head is always kept, pinned versions are
 // never dropped, and unpinned non-head versions are dropped oldest-first
 // while the chain is over its size bound, or individually once aged past
@@ -211,6 +233,7 @@ func (c *Chain) gcLocked() {
 		}
 		out = append(out, v)
 	}
+	c.reclaimed += int64(len(c.versions) - len(out))
 	for i := len(out); i < len(c.versions); i++ {
 		c.versions[i] = nil
 	}

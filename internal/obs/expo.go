@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the registry in Prometheus text exposition format
+// (version 0.0.4): every registered metric in registration order, stamped
+// with the registry's constant labels. Safe to call concurrently with
+// metric writers — values are read atomically; a scrape racing an Observe
+// sees either side of it, never a torn histogram.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]metric(nil), r.order...)
+	var consts []string
+	for _, lp := range r.labels {
+		consts = append(consts, renderLabel(lp.k, lp.v))
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	ew := &expoWriter{w: bw, consts: consts}
+	for _, m := range metrics {
+		m.expo(ew)
+	}
+	return bw.Flush()
+}
+
+// Text renders the registry to a string — the payload of the MetricsReq RPC.
+func (r *Registry) Text() string {
+	var sb strings.Builder
+	_ = r.WriteText(&sb)
+	return sb.String()
+}
+
+// Handler serves the registry over HTTP — mounted on dtxd's -metrics-addr
+// listener. Scraping arms the registry: the first consumer that can see
+// histogram data turns histogram collection on, so an operator never stares
+// at empty buckets because a flag was forgotten (dtxd arms at startup
+// anyway; this is the belt to that suspender).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		r.Arm()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// expoWriter carries the render state through one exposition pass.
+type expoWriter struct {
+	w      *bufio.Writer
+	consts []string
+}
+
+func (ew *expoWriter) header(name, help, kind string) {
+	ew.w.WriteString("# HELP ")
+	ew.w.WriteString(name)
+	ew.w.WriteByte(' ')
+	ew.w.WriteString(strings.ReplaceAll(help, "\n", " "))
+	ew.w.WriteString("\n# TYPE ")
+	ew.w.WriteString(name)
+	ew.w.WriteByte(' ')
+	ew.w.WriteString(kind)
+	ew.w.WriteByte('\n')
+}
+
+// sample writes one line: name{consts,extras} value. extras entries are
+// pre-rendered `k="v"` pairs; empty entries are skipped.
+func (ew *expoWriter) sample(name string, value float64, extras ...string) {
+	ew.w.WriteString(name)
+	first := true
+	open := func() {
+		if first {
+			ew.w.WriteByte('{')
+			first = false
+		} else {
+			ew.w.WriteByte(',')
+		}
+	}
+	for _, l := range ew.consts {
+		open()
+		ew.w.WriteString(l)
+	}
+	for _, l := range extras {
+		if l == "" {
+			continue
+		}
+		open()
+		ew.w.WriteString(l)
+	}
+	if !first {
+		ew.w.WriteByte('}')
+	}
+	ew.w.WriteByte(' ')
+	ew.w.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	ew.w.WriteByte('\n')
+}
+
+// renderLabel renders one `key="value"` pair with label-value escaping.
+func renderLabel(key, value string) string {
+	var sb strings.Builder
+	sb.WriteString(key)
+	sb.WriteString(`="`)
+	for _, r := range value {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// ---- per-kind exposition ----
+
+func (c *Counter) expo(ew *expoWriter) {
+	ew.header(c.name, c.help, "counter")
+	ew.sample(c.name, float64(c.Value()), c.label)
+}
+
+func (g *Gauge) expo(ew *expoWriter) {
+	ew.header(g.name, g.help, "gauge")
+	ew.sample(g.name, float64(g.Value()))
+}
+
+func (f *funcMetric) expo(ew *expoWriter) {
+	ew.header(f.name, f.help, f.kind)
+	ew.sample(f.name, f.fn())
+}
+
+func (f *labeledFuncMetric) expo(ew *expoWriter) {
+	ew.header(f.name, f.help, "gauge")
+	for _, lv := range f.fn() {
+		ew.sample(f.name, lv.Value, renderLabel(f.key, lv.Label))
+	}
+}
+
+func (v *CounterVec) expo(ew *expoWriter) {
+	ew.header(v.name, v.help, "counter")
+	for _, c := range v.children() {
+		ew.sample(v.name, float64(c.Value()), c.label)
+	}
+}
+
+func (h *Histogram) expo(ew *expoWriter) {
+	ew.header(h.name, h.help, "histogram")
+	h.expoSamples(ew)
+}
+
+func (h *Histogram) expoSamples(ew *expoWriter) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		ew.sample(h.name+"_bucket", float64(cum), h.label,
+			renderLabel("le", strconv.FormatFloat(b, 'g', -1, 64)))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	ew.sample(h.name+"_bucket", float64(cum), h.label, `le="+Inf"`)
+	ew.sample(h.name+"_sum", h.Sum(), h.label)
+	ew.sample(h.name+"_count", float64(cum), h.label)
+}
+
+func (v *HistogramVec) expo(ew *expoWriter) {
+	ew.header(v.name, v.help, "histogram")
+	v.mu.Lock()
+	kids := make([]*Histogram, 0, len(v.order))
+	for _, l := range v.order {
+		kids = append(kids, v.kids[l])
+	}
+	v.mu.Unlock()
+	for _, h := range kids {
+		h.expoSamples(ew)
+	}
+}

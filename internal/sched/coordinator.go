@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
@@ -141,6 +140,10 @@ func (s *Site) beginTxn() *coordTxn {
 		sites:    make(map[int]bool),
 		finished: make(chan struct{}),
 	}
+	if s.traceArmed {
+		ct.trace = newTxnTrace()
+		ct.trace.add("begin", "", 0, 0)
+	}
 	s.coord[id] = ct
 	s.coordOf[id] = s.id
 	return ct
@@ -155,6 +158,8 @@ func (s *Site) beginTxn() *coordTxn {
 func (s *Site) execOp(ctx context.Context, ct *coordTxn, opIdx int) error {
 	op := ct.t.Ops[opIdx]
 	id, ts := ct.t.ID, ct.t.TS
+	sp := s.m.reg.Span() // whole execute phase of this operation (armed-gated)
+	var waitStart time.Time
 	for {
 		// Fetched before the attempt: a wake broadcast during the attempt
 		// closes exactly this channel, so it cannot be lost.
@@ -243,11 +248,25 @@ func (s *Site) execOp(ctx context.Context, ct *coordTxn, opIdx int) error {
 				ct.results[opIdx] = res.results
 			}
 			ct.t.Ops[opIdx].Executed = true
+			if sp.Active() {
+				if !waitStart.IsZero() {
+					wait := time.Since(waitStart)
+					s.m.lockWait.With(op.Doc).ObserveDuration(wait)
+					ct.trace.add("lock-wait", op.Doc, opIdx, wait)
+				}
+				s.m.opExec.With(op.Doc).ObserveDuration(sp.Elapsed())
+				ct.trace.add("exec", op.Doc, opIdx, sp.Elapsed())
+			}
 			return nil
 		}
 
 		// Not acquired: wait mode (Algorithm 1, l. 9 / l. 17) until a
 		// wake-up, a victim signal, cancellation, or the retry safety net.
+		// The first conflicting attempt starts the lock-wait clock; it stops
+		// at the grant (the executed case above).
+		if sp.Active() && waitStart.IsZero() {
+			waitStart = time.Now()
+		}
 		timer := time.NewTimer(s.cfg.RetryInterval)
 		select {
 		case <-wakeCh:
@@ -330,7 +349,7 @@ func (s *Site) execRemote(ctx context.Context, ct *coordTxn, opIdx int, op txn.O
 				results[i] = siteResult{site: site, res: s.processOperation(id, ts, s.id, opIdx, op)}
 				return
 			}
-			atomic.AddInt64(&s.stats.RemoteOpsSent, 1)
+			s.m.remoteOpsSent.Inc()
 			resp, err := s.send(ctx, site, transport.ExecOpReq{
 				Txn: id, TS: ts, Coordinator: s.id, OpIdx: opIdx, Op: op,
 			})
@@ -539,12 +558,15 @@ func (s *Site) commitTransaction(ct *coordTxn) bool {
 	// in-doubt local intent proves the commit by itself — so the local-only
 	// commit path skips the extra fsync.
 	if s.cfg.Journal != nil && !readOnly && len(remote) > 0 {
+		dsp := s.m.reg.Span()
 		if err := s.cfg.Journal.LogDecision(id.String()); err != nil {
 			// The decision cannot be made durable (journal failure, or the
 			// site is dying): do not commit anybody.
 			s.abortTransaction(ct)
 			return false
 		}
+		dsp.Done(s.m.decisionWrite)
+		ct.trace.add("2pc-decision-write", "", 0, dsp.Elapsed())
 	}
 	if hooks := s.cfg.Hooks; hooks != nil && hooks.AfterDecision != nil {
 		hooks.AfterDecision(id)
@@ -555,6 +577,7 @@ func (s *Site) commitTransaction(ct *coordTxn) bool {
 	vacuous := make(map[int]bool) // dead read-only participants: ok but consolidated nothing
 	maybeConsolidated := false    // a write participant's ack was lost with its connection
 	if len(remote) > 0 {
+		fsp := s.m.reg.Span()
 		oks, allOK = fanOut(remote, func(site int) bool {
 			resp, err := s.send(context.Background(), site, transport.CommitReq{Txn: id})
 			if err != nil && errors.Is(err, transport.ErrPeerClosed) {
@@ -589,6 +612,8 @@ func (s *Site) commitTransaction(ct *coordTxn) bool {
 			}
 			return err == nil && ack.OK
 		})
+		fsp.Done(s.m.commitFanout)
+		ct.trace.add("2pc-commit-fanout", "", 0, fsp.Elapsed())
 	}
 	// Algorithm 5, l. 10–11: persist locally and release the locks.
 	if allOK {

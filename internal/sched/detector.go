@@ -2,7 +2,6 @@ package sched
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
@@ -39,6 +38,8 @@ func (s *Site) detectorLoop() {
 // transaction ID), several sites running the check concurrently converge
 // on the same victim; duplicate victim signals are idempotent.
 func (s *Site) CheckDeadlocks() bool {
+	sp := s.m.reg.Span()
+	defer sp.Done(s.m.detectorCycle)
 	union := wfg.New()
 	// Collect the local graphs first (Algorithm 4 walks all sites; the site
 	// running the check contributes its own lock managers' graphs without
@@ -96,7 +97,7 @@ func (s *Site) resolveCycle(union *wfg.Graph) bool {
 	} else {
 		victim = union.NewestInCycle(cycle)
 	}
-	atomic.AddInt64(&s.stats.DistDeadlocks, 1)
+	s.m.distDeadlocks.Inc()
 	s.signalVictim(victim, "distributed deadlock victim")
 	return true
 }

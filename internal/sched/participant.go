@@ -3,7 +3,6 @@ package sched
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/lock"
@@ -40,7 +39,7 @@ func (s *Site) handleExecOp(req transport.ExecOpReq) transport.ExecOpResp {
 	s.mu.Lock()
 	s.clock.Observe(req.TS)
 	s.mu.Unlock()
-	atomic.AddInt64(&s.stats.RemoteOpsProcessed, 1)
+	s.m.remoteOpsProcessed.Inc()
 
 	res := s.processOperation(req.Txn, req.TS, req.Coordinator, req.OpIdx, req.Op)
 	resp := transport.ExecOpResp{
@@ -144,21 +143,21 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 		// wait-for graph, then check whether the new edges close a circle
 		// through this transaction. Stale edges from a previous attempt of
 		// the same operation are replaced by the fresh conflict set.
-		atomic.AddInt64(&s.stats.OpConflicts, 1)
+		ds.met.conflicts.Inc()
 		ds.graph.ClearWaiter(id)
 		for _, c := range conflicts {
 			ds.graph.AddEdge(id, ts, c.Txn, c.TS)
 		}
 		deadlock := ds.graph.CycleThrough(id) != nil
 		if deadlock {
-			atomic.AddInt64(&s.stats.LocalDeadlocks, 1)
+			s.m.localDeadlocks.Inc()
 		}
 		return localResult{acquired: false, deadlock: deadlock, conflicts: conflicts}
 	}
 
 	// Locks granted: the transaction is no longer waiting on anybody here.
 	ds.graph.ClearWaiter(id)
-	atomic.AddInt64(&s.stats.LocksAcquired, int64(len(reqs)))
+	s.m.locksAcquired.Add(int64(len(reqs)))
 	if s.cfg.History != nil {
 		grants := make([]GrantInfo, 0, len(reqs))
 		for _, r := range reqs {
@@ -183,7 +182,7 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 		// ds.mu, so the index is exactly as current as the tree.
 		if nodes, ok := ds.guide.EvalIndexed(q, ds.doc); ok {
 			out.results = xpath.RenderStrings(q, nodes)
-			atomic.AddInt64(&s.stats.IndexedQueries, 1)
+			s.m.indexedQueries.Inc()
 		} else {
 			out.results = xpath.EvalStrings(q, ds.doc)
 		}
@@ -198,7 +197,7 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 		// reader at a clean point — pays for the copy.
 		if len(ds.dirty) == 0 && ds.versions.Stale() {
 			if ds.versions.Publish(ds.doc.Snapshot(), ds.versions.CommitTS()) {
-				atomic.AddInt64(&s.stats.SnapshotPublishes, 1)
+				s.m.snapshotPublishes.Inc()
 			}
 		}
 		rec, _, aerr := xupdate.Apply(op.Update, ds.doc, ds.guide)
@@ -217,7 +216,7 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 		}
 	}
 	if out.executed {
-		atomic.AddInt64(&s.stats.OpsExecuted, 1)
+		s.m.opsExecuted.Inc()
 	}
 	return out
 }
@@ -539,9 +538,12 @@ func (s *Site) commitLocal(id txn.ID) error {
 		// the persist pipeline holds the changes, so a quorum shortfall is a
 		// consolidated-but-uncertain outcome (errQuorumShort), never a clean
 		// abort.
+		qsp := s.m.reg.Span()
 		if err := s.shipQuorum(ships); err != nil {
 			return err
 		}
+		qsp.Done(s.m.quorumAck)
+		s.traceFor(id).add("2pc-quorum-ack", "", 0, qsp.Elapsed())
 	}
 	return nil
 }

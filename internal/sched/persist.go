@@ -186,12 +186,15 @@ func (s *Site) persistWorker(ds *docState) {
 		if meta != nil {
 			_ = meta.SaveMeta(snap.Name, fmt.Sprintf("%d pending", replIdx))
 		}
+		sp := s.m.reg.Span()
 		err := s.cfg.Store.Save(snap)
+		sp.Done(ds.met.persistSave)
+		ds.met.persistBatch.Observe(float64(covered))
 		if err == nil && meta != nil {
 			_ = meta.SaveMeta(snap.Name, fmt.Sprintf("%d clean", replIdx))
 		}
 		if err != nil {
-			atomic.AddInt64(&s.stats.PersistErrors, 1)
+			s.m.persistErrors.Inc()
 			ds.mu.Lock()
 			if ds.persistErr == nil {
 				ds.persistErr = fmt.Errorf("sched: persist %s: %w", ds.doc.Name, err)

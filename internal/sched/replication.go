@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync/atomic"
+	"strconv"
 	"time"
 
 	"repro/internal/store"
@@ -212,6 +212,7 @@ func (s *Site) shipQuorum(items []shipItem) error {
 // (the follower is further behind than our acked bookkeeping says) earns
 // one in-call rewind from the index the follower names.
 func (s *Site) shipTo(follower int, ds *docState, doc string, upTo int64) bool {
+	sp := s.m.reg.Span()
 	ds.mu.Lock()
 	acked := ds.replAcked[follower]
 	ds.mu.Unlock()
@@ -226,6 +227,9 @@ func (s *Site) shipTo(follower int, ds *docState, doc string, upTo int64) bool {
 		// previous incarnation). Re-ship from its actual position.
 		ack, ok = s.shipSpan(follower, doc, ack.Applied)
 	}
+	if sp.Active() {
+		s.m.replShip.With(strconv.Itoa(follower)).ObserveDuration(sp.Elapsed())
+	}
 	if !ok || !ack.OK {
 		return false
 	}
@@ -236,7 +240,7 @@ func (s *Site) shipTo(follower int, ds *docState, doc string, upTo int64) bool {
 	prev := ds.replAcked[follower]
 	if ack.Applied > prev {
 		ds.replAcked[follower] = ack.Applied
-		atomic.AddInt64(&s.stats.LogRecordsShipped, ack.Applied-prev)
+		s.m.logShipped.Add(ack.Applied - prev)
 	}
 	ds.mu.Unlock()
 	return ack.Applied >= upTo
@@ -317,6 +321,7 @@ func (s *Site) handleLogShip(m transport.LogShipReq) transport.LogAck {
 
 	var fresh []store.ReplRecord
 	var maxTS txn.TS
+	asp := s.m.reg.Span()
 	ds.mu.Lock()
 	for _, rec := range m.Records {
 		if rec.Index <= ds.replApplied {
@@ -347,7 +352,8 @@ func (s *Site) handleLogShip(m transport.LogShipReq) transport.LogAck {
 	ds.mu.Unlock()
 
 	if len(fresh) > 0 {
-		atomic.AddInt64(&s.stats.LogRecordsApplied, int64(len(fresh)))
+		s.m.logApplied.Add(int64(len(fresh)))
+		asp.Done(ds.met.replApply)
 		s.mu.Lock()
 		s.clock.Observe(maxTS)
 		s.mu.Unlock()
@@ -475,7 +481,7 @@ func (s *Site) ReplCatchUp(ctx context.Context, doc string) (int, bool) {
 	}
 	ds.mu.Unlock()
 	if n > 0 {
-		atomic.AddInt64(&s.stats.ReplCatchupRecords, int64(n))
+		s.m.catchupRecords.Add(int64(n))
 		s.mu.Lock()
 		s.clock.Observe(maxTS)
 		s.mu.Unlock()

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/txn"
 )
@@ -401,20 +400,28 @@ func (sess *Session) finishLocked(state txn.State, cause error) {
 	sess.err = cause
 	switch state {
 	case txn.Committed:
-		atomic.AddInt64(&s.stats.TxnsCommitted, 1)
+		s.m.txnsCommitted.Inc()
 	case txn.Aborted:
-		atomic.AddInt64(&s.stats.TxnsAborted, 1)
+		s.m.txnsAborted.Inc()
 		if errors.Is(cause, txn.ErrDeadlock) {
-			atomic.AddInt64(&s.stats.DeadlockAborts, 1)
+			s.m.deadlockAborts.Inc()
 		}
 	case txn.Failed:
-		atomic.AddInt64(&s.stats.TxnsFailed, 1)
+		s.m.txnsFailed.Inc()
 	}
 	sess.ct.t.State = state
 	s.mu.Lock()
 	delete(s.coord, id)
 	s.mu.Unlock()
 	close(sess.ct.finished)
+	if tr := sess.ct.trace; tr != nil {
+		reason := ""
+		if cause != nil {
+			reason = cause.Error()
+		}
+		tr.add("finish", "", 0, 0)
+		s.emitTrace(id, state, reason, tr)
+	}
 	if s.cfg.History != nil {
 		s.cfg.History.OnFinished(id, state == txn.Committed)
 	}

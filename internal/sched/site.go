@@ -39,6 +39,7 @@ import (
 	"repro/internal/dataguide"
 	"repro/internal/lock"
 	"repro/internal/mvcc"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -158,6 +159,26 @@ type Config struct {
 	// routing around it while internal/recovery replays the journal and
 	// catches its documents up.
 	Recovering bool
+	// Metrics, when set, is the observability registry the site registers its
+	// metric families on (internal/obs); nil builds a private unarmed one.
+	// The site's counters are always live either way — they back Stats — but
+	// histogram/span collection only happens once the registry is armed
+	// (dtxd's -metrics-addr listener, a MetricsReq scrape, or the harness's
+	// latency breakdown arm it). Unarmed, each would-be observation costs one
+	// atomic load.
+	Metrics *obs.Registry
+	// SlowTxnThreshold is the slow-transaction tracer's emission bound: a
+	// transaction whose total time reaches it has its event timeline (begin,
+	// per-op lock waits, each 2PC phase, quorum ack, commit) emitted as one
+	// JSON line through TraceSink. Tracing is armed when TraceSink is set or
+	// the threshold is positive; a set sink with a zero threshold traces
+	// every transaction (the debugging mode dtxd's `-slow-txn 0` selects).
+	// With both unset (the default) transactions carry no timeline at all.
+	SlowTxnThreshold time.Duration
+	// TraceSink receives one line of JSON per qualifying slow transaction.
+	// It is called synchronously on the transaction's finishing goroutine and
+	// must be fast, concurrency-safe and never call back into the site.
+	TraceSink func(line string)
 	// Hooks are test-only crash-point callbacks (see CrashHooks). Shared by
 	// pointer so a harness can install hooks on an already-built site (but
 	// never while transactions are in flight).
@@ -246,9 +267,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Stats counts site-level events; all counters are monotonic. The site
-// updates them with atomics so the hot path never takes a mutex for
-// accounting.
+// Stats counts site-level events; all counters are monotonic. It is the
+// compatibility view over the site's obs registry: each field is assembled
+// from the registry counter of the same meaning by Site.Stats, so the
+// registry is the one source of truth and this struct stays a cheap
+// value-type snapshot for callers (harness, dtxbench, the public SiteStats).
 type Stats struct {
 	TxnsCommitted      int64
 	TxnsAborted        int64
@@ -285,11 +308,16 @@ type Stats struct {
 // parallel.
 type docState struct {
 	mu    sync.Mutex
+	name  string // the document name, immutable; for metric labels
 	doc   *xmltree.Document
 	guide *dataguide.DataGuide
 	table *lock.Table
 	graph *wfg.Graph
 	dirty map[txn.ID]bool // transactions with unpersisted changes
+
+	// met caches this document's child metric handles (resolved once here,
+	// so the hot paths never do a labelled-vec map lookup).
+	met docMetrics
 
 	// versions is the document's MVCC chain: committed immutable snapshots
 	// that read-only transactions pin and query without entering the lock
@@ -457,6 +485,11 @@ type coordTxn struct {
 	wake     chan struct{} // closed to broadcast a wake-up, then replaced
 	results  [][]string
 	finished chan struct{} // closed once the transaction reaches a terminal state
+
+	// trace is the slow-transaction event timeline, non-nil exactly when the
+	// site's tracer is armed (metrics.go); fast transactions drop it at
+	// finish.
+	trace *txnTrace
 
 	// roDocSites tracks, for a read-only transaction, which site each
 	// document's reads are bound to — reads of one document must stick to
@@ -634,8 +667,11 @@ type Site struct {
 	docsMu sync.RWMutex
 	docs   map[string]*docState
 
-	// stats is accessed with atomics only.
-	stats Stats
+	// m holds the site's metric handles; its counters back Stats. traceArmed
+	// is fixed at construction from the trace config (read lock-free on the
+	// hot path).
+	m          *siteMetrics
+	traceArmed bool
 
 	// replLog is the in-memory per-document shipping log, non-nil exactly in
 	// quorum-replication mode (replication.go). rywMu/recentWrites track the
@@ -714,6 +750,13 @@ func New(cfg Config) *Site {
 	}
 	if !cfg.Recovering {
 		s.ready = 1
+	}
+	s.m = newSiteMetrics(s, cfg.Metrics)
+	s.traceArmed = cfg.TraceSink != nil || cfg.SlowTxnThreshold > 0
+	if s.traceArmed {
+		// Traces carry the same timings the histograms do; configuring the
+		// tracer is configuring observability, so arm the gated paths.
+		s.m.reg.Arm()
 	}
 	s.liveness = newLiveness(cfg.HeartbeatInterval > 0, s.abortOrphans)
 	s.persistCond = sync.NewCond(&s.persistMu)
@@ -925,28 +968,30 @@ func (s *Site) exitCommit() {
 	s.persistMu.Unlock()
 }
 
-// Stats returns a snapshot of the site's counters.
+// Stats returns a snapshot of the site's counters, assembled from the obs
+// registry (the storage; see metrics.go).
 func (s *Site) Stats() Stats {
+	m := s.m
 	return Stats{
-		TxnsCommitted:      atomic.LoadInt64(&s.stats.TxnsCommitted),
-		TxnsAborted:        atomic.LoadInt64(&s.stats.TxnsAborted),
-		TxnsFailed:         atomic.LoadInt64(&s.stats.TxnsFailed),
-		DeadlockAborts:     atomic.LoadInt64(&s.stats.DeadlockAborts),
-		LocalDeadlocks:     atomic.LoadInt64(&s.stats.LocalDeadlocks),
-		DistDeadlocks:      atomic.LoadInt64(&s.stats.DistDeadlocks),
-		OpsExecuted:        atomic.LoadInt64(&s.stats.OpsExecuted),
-		OpConflicts:        atomic.LoadInt64(&s.stats.OpConflicts),
-		RemoteOpsSent:      atomic.LoadInt64(&s.stats.RemoteOpsSent),
-		RemoteOpsProcessed: atomic.LoadInt64(&s.stats.RemoteOpsProcessed),
-		LocksAcquired:      atomic.LoadInt64(&s.stats.LocksAcquired),
-		PersistErrors:      atomic.LoadInt64(&s.stats.PersistErrors),
-		SnapshotReads:      atomic.LoadInt64(&s.stats.SnapshotReads),
-		SnapshotPublishes:  atomic.LoadInt64(&s.stats.SnapshotPublishes),
-		LogRecordsShipped:  atomic.LoadInt64(&s.stats.LogRecordsShipped),
-		LogRecordsApplied:  atomic.LoadInt64(&s.stats.LogRecordsApplied),
-		ReplStaleRefusals:  atomic.LoadInt64(&s.stats.ReplStaleRefusals),
-		ReplCatchupRecords: atomic.LoadInt64(&s.stats.ReplCatchupRecords),
-		IndexedQueries:     atomic.LoadInt64(&s.stats.IndexedQueries),
+		TxnsCommitted:      m.txnsCommitted.Value(),
+		TxnsAborted:        m.txnsAborted.Value(),
+		TxnsFailed:         m.txnsFailed.Value(),
+		DeadlockAborts:     m.deadlockAborts.Value(),
+		LocalDeadlocks:     m.localDeadlocks.Value(),
+		DistDeadlocks:      m.distDeadlocks.Value(),
+		OpsExecuted:        m.opsExecuted.Value(),
+		OpConflicts:        m.conflicts.Total(),
+		RemoteOpsSent:      m.remoteOpsSent.Value(),
+		RemoteOpsProcessed: m.remoteOpsProcessed.Value(),
+		LocksAcquired:      m.locksAcquired.Value(),
+		PersistErrors:      m.persistErrors.Value(),
+		SnapshotReads:      m.snapshotReads.Value(),
+		SnapshotPublishes:  m.snapshotPublishes.Value(),
+		LogRecordsShipped:  m.logShipped.Value(),
+		LogRecordsApplied:  m.logApplied.Value(),
+		ReplStaleRefusals:  m.staleRefusals.Value(),
+		ReplCatchupRecords: m.catchupRecords.Value(),
+		IndexedQueries:     m.indexedQueries.Value(),
 	}
 }
 
@@ -972,12 +1017,14 @@ func (s *Site) newDocState(doc *xmltree.Document, g *dataguide.DataGuide) *docSt
 	})
 	ch.Publish(doc.Snapshot(), 0)
 	return &docState{
+		name:     doc.Name,
 		doc:      doc,
 		guide:    g,
 		table:    lock.NewTable(g),
 		graph:    wfg.New(),
 		dirty:    make(map[txn.ID]bool),
 		versions: ch,
+		met:      s.m.docMetrics(doc.Name),
 	}
 }
 
@@ -1157,6 +1204,8 @@ func (s *Site) HandleMessage(from int, msg any) (any, error) {
 		return s.handleFetchDoc(m), nil
 	case transport.SiteStatusReq:
 		return s.siteStatus(), nil
+	case transport.MetricsReq:
+		return transport.MetricsResp{Site: s.id, Text: s.MetricsText()}, nil
 	case transport.UndoOpReq:
 		s.undoOpLocal(m.Txn, m.OpIdx)
 		return transport.Ack{OK: true}, nil
@@ -1319,6 +1368,28 @@ func (s *Site) siteStatus() transport.SiteStatusResp {
 		Failed:    st.TxnsFailed,
 	}
 	sort.Strings(resp.Documents)
+	for _, name := range resp.Documents {
+		ds := s.doc(name)
+		if ds == nil {
+			continue
+		}
+		d := transport.DocStatus{Name: name, Role: "replica", Primary: s.primaryOf(name)}
+		if s.replLog == nil || d.Primary == s.id {
+			// Eager mode has no primaries; every replica reports as one so the
+			// status view never suggests a lag that cannot exist.
+			d.Role = "primary"
+		}
+		ds.mu.Lock()
+		d.Applied = ds.replApplied
+		d.Head = ds.knownHead
+		ds.mu.Unlock()
+		if d.Applied > d.Head {
+			// The primary's own applied position IS the head.
+			d.Head = d.Applied
+		}
+		d.Behind = d.Head - d.Applied
+		resp.Docs = append(resp.Docs, d)
+	}
 	if s.cfg.Journal != nil {
 		for _, d := range s.cfg.Journal.InDoubt() {
 			resp.InDoubt = append(resp.InDoubt, transport.InDoubtTxn{Txn: d.Txn, Docs: d.Docs})

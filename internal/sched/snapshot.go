@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/mvcc"
@@ -83,7 +82,7 @@ func (s *Site) snapshotRead(id txn.ID, ts txn.TS, coordinator int, docName, quer
 	if stale, msg := s.replicaStale(docName, ds); stale {
 		// Quorum mode: this follower knows it lags the primary beyond the
 		// staleness bound; refuse so the coordinator retries at the primary.
-		atomic.AddInt64(&s.stats.ReplStaleRefusals, 1)
+		s.m.staleRefusals.Inc()
 		return localResult{failed: true, code: txn.CodeReplicaStale, err: msg}, 0
 	}
 	q, err := s.queries.Get(query)
@@ -131,9 +130,9 @@ func (s *Site) snapshotRead(id txn.ID, ts txn.TS, coordinator int, docName, quer
 	// advanced the live index.
 	results, indexed := s.snapshotEval(ds, q, pin.ver)
 	if indexed {
-		atomic.AddInt64(&s.stats.IndexedQueries, 1)
+		s.m.indexedQueries.Inc()
 	}
-	atomic.AddInt64(&s.stats.SnapshotReads, 1)
+	s.m.snapshotReads.Inc()
 	return localResult{executed: true, acquired: true, results: results}, pin.ver.TS
 }
 
@@ -174,7 +173,7 @@ func (s *Site) pinDocVersion(ds *docState, ts txn.TS) *mvcc.Version {
 		if len(ds.dirty) == 0 && ds.versions.Stale() {
 			snap := ds.doc.Snapshot()
 			if ds.versions.Publish(snap, ds.versions.CommitTS()) {
-				atomic.AddInt64(&s.stats.SnapshotPublishes, 1)
+				s.m.snapshotPublishes.Inc()
 			}
 		}
 		ds.mu.Unlock()
@@ -282,7 +281,7 @@ func (s *Site) execSnapshotOp(ctx context.Context, ct *coordTxn, opIdx int) erro
 		if target == s.id {
 			res, _ = s.snapshotRead(id, ts, s.id, op.Doc, op.Query)
 		} else {
-			atomic.AddInt64(&s.stats.RemoteOpsSent, 1)
+			s.m.remoteOpsSent.Inc()
 			resp, err := s.send(ctx, target, transport.SnapshotReadReq{
 				Txn: id, TS: ts, Coordinator: s.id, Doc: op.Doc, Query: op.Query,
 			})

@@ -45,9 +45,7 @@ func TestPartialAcquireUndoneEverywhere(t *testing.T) {
 	// (the partial execution was undone).
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		s0.mu.Lock()
-		conflicts := s0.stats.OpConflicts + s1.Stats().OpConflicts
-		s0.mu.Unlock()
+		conflicts := s0.Stats().OpConflicts + s1.Stats().OpConflicts
 		if conflicts > 0 {
 			break
 		}

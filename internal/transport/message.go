@@ -177,17 +177,43 @@ type InDoubtTxn struct {
 	Docs []string
 }
 
+// DocStatus is one document's replication view at a site: its role there
+// (primary or replica), the last replication-log record it applied, the
+// newest record it knows the primary holds, and the gap between the two.
+// Outside quorum mode Applied/Head/Behind stay zero.
+type DocStatus struct {
+	Name    string
+	Primary int
+	Role    string // "primary" | "replica"
+	Applied int64
+	Head    int64
+	Behind  int64
+}
+
 // SiteStatusResp reports a site's documents, liveness view, journal
 // in-doubt set and headline counters.
 type SiteStatusResp struct {
 	Site      int
 	Ready     bool
 	Documents []string
+	Docs      []DocStatus
 	Peers     []PeerStatus
 	InDoubt   []InDoubtTxn
 	Committed int64
 	Aborted   int64
 	Failed    int64
+}
+
+// MetricsReq asks a site for its metrics registry rendered in Prometheus
+// text format — the transport-level scrape dtxctl -metrics uses, so any
+// site can be inspected without an HTTP listener. Serving it arms the
+// site's gated instrumentation, like an HTTP scrape does.
+type MetricsReq struct{}
+
+// MetricsResp carries the exposition text.
+type MetricsResp struct {
+	Site int
+	Text string
 }
 
 // RecoverReq asks a site to run an online recovery pass: drain the persist
@@ -296,6 +322,8 @@ func init() {
 	gob.Register(FetchDocResp{})
 	gob.Register(SiteStatusReq{})
 	gob.Register(SiteStatusResp{})
+	gob.Register(MetricsReq{})
+	gob.Register(MetricsResp{})
 	gob.Register(RecoverReq{})
 	gob.Register(RecoverResp{})
 	gob.Register(SnapshotReadReq{})
