@@ -160,16 +160,23 @@ func printStatus(ctx context.Context, node *transport.TCPNode) {
 	if len(st.Docs) > 0 {
 		fmt.Printf("documents (%d):\n", len(st.Docs))
 		for _, d := range st.Docs {
+			// Under adaptive concurrency control the active protocol is per
+			// document and can change over a run, so it belongs next to the
+			// replication role rather than in the site banner.
+			proto := ""
+			if d.Protocol != "" {
+				proto = fmt.Sprintf(" [%s]", d.Protocol)
+			}
 			if d.Role == "primary" {
-				fmt.Printf("  %s: primary, head %d\n", d.Name, d.Head)
+				fmt.Printf("  %s%s: primary, head %d\n", d.Name, proto, d.Head)
 				continue
 			}
 			lag := "caught up"
 			if d.Behind > 0 {
 				lag = fmt.Sprintf("%d record(s) behind head %d", d.Behind, d.Head)
 			}
-			fmt.Printf("  %s: replica of site %d, applied %d, %s\n",
-				d.Name, d.Primary, d.Applied, lag)
+			fmt.Printf("  %s%s: replica of site %d, applied %d, %s\n",
+				d.Name, proto, d.Primary, d.Applied, lag)
 		}
 	} else {
 		fmt.Printf("documents (%d): %s\n", len(st.Documents), strings.Join(st.Documents, ", "))

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// FinalStateDigest condenses the cluster's committed document state into one
+// comparable string: the SHA-256 over every document's serialized XML,
+// documents in name order, each prefixed by its name. Before hashing it
+// checks that every serving replica of a document holds byte-identical XML
+// and errors on divergence — so two runs with equal digests ended in equal
+// states on every replica, which is what the cross-protocol equivalence
+// suite asserts. Killed and still-recovering sites are skipped: their
+// in-memory copies are not authoritative.
+func FinalStateDigest(c *Cluster) (string, error) {
+	h := sha256.New()
+	for _, d := range c.Docs {
+		var canonical string
+		first, seen := 0, false
+		for i, s := range c.Sites {
+			if s.Killed() || !s.Ready() {
+				continue
+			}
+			doc, err := s.Document(d.Name)
+			if err != nil {
+				// Partial replication: this site does not hold the fragment.
+				continue
+			}
+			xml := doc.String()
+			if !seen {
+				canonical, first, seen = xml, i, true
+				continue
+			}
+			if xml != canonical {
+				return "", fmt.Errorf("harness: replicas diverge on %s: site %d != site %d", d.Name, i, first)
+			}
+		}
+		if !seen {
+			return "", fmt.Errorf("harness: no serving replica holds %s", d.Name)
+		}
+		fmt.Fprintf(h, "%s\n%s\n", d.Name, canonical)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -33,7 +33,8 @@ type footprint struct {
 // History records lock footprints of executed operations and checks that
 // the committed transactions form a conflict-serializable history: two
 // committed transactions conflict if, at the same site, they held
-// incompatible lock modes on the same DataGuide path; the conflict edge is
+// incompatible lock modes on the same DataGuide path with non-disjoint
+// guards (the lock table's own conflict rule); the conflict edge is
 // oriented by acquisition order (under strict 2PL the later one can only
 // have acquired after the earlier one released, i.e. committed). An acyclic
 // conflict graph certifies serializability.
@@ -101,11 +102,12 @@ func (h *History) CheckSerializable() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 
-	// Aggregate per (site, doc, path): list of (txn, mode, seq).
+	// Aggregate per (site, doc, path): list of (txn, mode, guard, seq).
 	type hold struct {
-		id   txn.ID
-		mode lock.Mode
-		seq  int64
+		id    txn.ID
+		mode  lock.Mode
+		guard *lock.Guard
+		seq   int64
 	}
 	holdsAt := make(map[string][]hold)
 	for k, fp := range h.events {
@@ -114,7 +116,7 @@ func (h *History) CheckSerializable() error {
 		}
 		for _, g := range fp.grants {
 			key := fmt.Sprintf("%d\x00%s\x00%s", k.site, fp.doc, g.Path)
-			holdsAt[key] = append(holdsAt[key], hold{id: k.id, mode: g.Mode, seq: fp.seq})
+			holdsAt[key] = append(holdsAt[key], hold{id: k.id, mode: g.Mode, guard: g.Guard, seq: fp.seq})
 		}
 	}
 
@@ -129,7 +131,12 @@ func (h *History) CheckSerializable() error {
 				if hs[i].id == hs[j].id {
 					continue
 				}
-				if !lock.Compatible(hs[i].mode, hs[j].mode) {
+				// Mirror the lock table's conflict rule exactly: incompatible
+				// modes on one path do NOT conflict when their XDGL guards are
+				// provably disjoint — the table grants such pairs concurrently,
+				// so treating them as conflicts here would orient edges between
+				// non-conflicting transactions and manufacture spurious cycles.
+				if !lock.Compatible(hs[i].mode, hs[j].mode) && !hs[i].guard.Disjoint(hs[j].guard) {
 					edges[pair{hs[i].id, hs[j].id}] = true
 					nodes[hs[i].id] = true
 					nodes[hs[j].id] = true

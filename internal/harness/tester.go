@@ -49,6 +49,21 @@ type Params struct {
 	// making document 0 the hot document — the contention dial for
 	// reader-versus-writer experiments. ≤ 1 keeps the uniform pick.
 	HotDocZipf float64
+	// HotKeyZipf, when > 1, skews the per-operation section choice inside the
+	// picked document with a Zipf distribution (parameter s = HotKeyZipf),
+	// making the document's first section hot — the intra-document contention
+	// dial the adaptive scheduler reacts to. ≤ 1 keeps the uniform pick. The
+	// skew generator replaces (never adds to) the uniform section draw, and
+	// is only built when the knob is set, so zero preserves the exact
+	// workloads of earlier seeds.
+	HotKeyZipf float64
+	// AnalyticsPct is the percentage of read transactions issued as analytics
+	// transactions: every operation is a whole-section descendant scan
+	// (xmark.ScanQueryFor) instead of the OLTP query mix. Under fine-grained
+	// protocols those scans take wide read-lock sets and collide with every
+	// writer in the section — the mixed OLTP/analytics dial for adaptive
+	// scenarios. The extra random draw happens only when this knob is set.
+	AnalyticsPct int
 	// BaseBytes is the generated database size in bytes (the paper's MB
 	// dial, scaled down: the in-process substrate keeps ratios, not
 	// absolute sizes).
@@ -62,8 +77,14 @@ type Params struct {
 	// Partial selects partial replication (size-balanced fragments, one
 	// site each) instead of total replication (every document everywhere).
 	Partial bool
-	// Protocol is "xdgl", "node2pl" or "doclock".
+	// Protocol is "xdgl", "node2pl" or "doclock" — or "adaptive", which
+	// starts every document under node2pl and lets the run-time policy
+	// (sched.AdaptiveConfig) move it along the granularity ladder from
+	// observed contention.
 	Protocol string
+	// AdaptiveWindow overrides the adaptive policy's sampling window
+	// (Protocol "adaptive" only; zero keeps the scheduler default).
+	AdaptiveWindow time.Duration
 	// Latency is the synthetic one-way network latency between sites.
 	Latency time.Duration
 	// OpDelay is the client think time between operations.
@@ -142,6 +163,12 @@ const (
 	// CrashMidPersist kills a site between a commit acknowledgement and the
 	// covering Store write.
 	CrashMidPersist CrashStage = "mid-persist"
+	// CrashBeforeSwitch kills a site at an adaptive protocol switch's
+	// quiescent point: the document's lock table is drained and admissions
+	// are blocked, but the new protocol is not yet installed. Protocol
+	// choice is never persisted, so the restarted site must come back under
+	// the configured default.
+	CrashBeforeSwitch CrashStage = "before-switch"
 )
 
 // CrashSpec selects a crash point: the (After+1)th firing of Stage at Site
@@ -218,6 +245,9 @@ type Result struct {
 	// IndexedQueries aggregates the per-site count of queries answered from
 	// a value index instead of an extent scan.
 	IndexedQueries int64
+	// ProtocolSwitches aggregates the per-site count of completed adaptive
+	// protocol switches (zero unless Protocol is "adaptive").
+	ProtocolSwitches int64
 	// Breakdown is the per-phase latency view, filled when
 	// Params.LatencyProfile armed the registries.
 	Breakdown *LatencyBreakdown
@@ -279,7 +309,14 @@ func (c *Cluster) Stop() {
 // allocation. The returned cluster is ready to accept transactions.
 func BuildCluster(p Params, hook sched.HistoryHook) (*Cluster, error) {
 	p = p.withDefaults()
-	proto, err := lock.ByName(p.Protocol)
+	base, adaptive := p.Protocol, false
+	if base == "adaptive" {
+		// Adaptive runs start every document on the ladder's middle rung and
+		// let the policy climb toward xdgl or descend toward doclock from
+		// observed contention.
+		base, adaptive = "node2pl", true
+	}
+	proto, err := lock.ByName(base)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +349,7 @@ func BuildCluster(p Params, hook sched.HistoryHook) (*Cluster, error) {
 			WriteQuorum:       p.WriteQuorum,
 			IndexedKeys:       p.IndexedKeys,
 			AutoIndexAfter:    p.AutoIndexAfter,
+			Adaptive:          sched.AdaptiveConfig{Enabled: adaptive, Window: p.AdaptiveWindow},
 		}
 		if p.ReplApplyLag > 0 {
 			// Each site gets its own hook struct: the crash victim's kill
@@ -422,6 +460,8 @@ func armCrash(spec *CrashSpec, hooks *sched.CrashHooks, sites []*sched.Site) {
 		hooks.AfterIntent = func(txn.ID, []string) { fire() }
 	case CrashMidPersist:
 		hooks.BeforeSave = func(string) { fire() }
+	case CrashBeforeSwitch:
+		hooks.BeforeProtocolSwitch = func(string, string, string) { fire() }
 	}
 }
 
@@ -501,12 +541,29 @@ func RunOn(ctx context.Context, cluster *Cluster, p Params) *Result {
 				}
 				return int64(rng.Intn(xmark.PredicateQueryRange))
 			}
+			// Hot-key skew over the sections of the picked document. The Zipf
+			// generator replaces the uniform section draw (one draw either
+			// way), keeping the rest of the client's rng stream aligned with
+			// unskewed runs of the same seed.
+			var secZipf *rand.Zipf
+			if p.HotKeyZipf > 1 {
+				secZipf = rand.NewZipf(rng, p.HotKeyZipf, 1, 255)
+			}
+			pickSection := func(doc DocInfo) string {
+				if len(doc.Sections) == 0 {
+					return "people"
+				}
+				if secZipf != nil {
+					return doc.Sections[int(secZipf.Uint64())%len(doc.Sections)]
+				}
+				return doc.Sections[rng.Intn(len(doc.Sections))]
+			}
 			for t := 0; t < p.TxPerClient; t++ {
 				if ctx.Err() != nil {
 					return
 				}
 				readOnly := p.ReadOnlyPct > 0 && rng.Intn(100) < p.ReadOnlyPct
-				ops := buildTxn(p, readOnly, pick, pickVal, rng, int64(c)*1000+int64(t))
+				ops := buildTxn(p, readOnly, pick, pickVal, pickSection, rng, int64(c)*1000+int64(t))
 				t0 := time.Now()
 				var r *sched.Result
 				var err error
@@ -556,6 +613,7 @@ func RunOn(ctx context.Context, cluster *Cluster, p Params) *Result {
 		res.SnapshotReads += st.SnapshotReads
 		res.SnapshotPublishes += st.SnapshotPublishes
 		res.IndexedQueries += st.IndexedQueries
+		res.ProtocolSwitches += st.ProtocolSwitches
 	}
 	if res.Committed > 0 {
 		res.MeanRespMs /= float64(res.Committed)
@@ -622,24 +680,29 @@ func p95(latencies []time.Duration) float64 {
 
 // buildTxn assembles one client transaction per the workload percentages.
 // Each operation picks a document (fragment) and then a query or update
-// against a section that document actually holds. A read-only transaction is
-// all queries; the update draw still happens so the rng stream stays aligned
+// against a section that document actually holds (the section choice — and
+// any hot-key skew — lives in pickSection). A read-only transaction is all
+// queries; the update draw still happens so the rng stream stays aligned
 // across the read-only split. With ValuePredPct set, that share of the reads
 // become id point lookups (value picked by pickVal) — the shape the value
-// index serves.
-func buildTxn(p Params, readOnly bool, pick func() DocInfo, pickVal func() int64, rng *rand.Rand, uniq int64) []txn.Operation {
+// index serves. With AnalyticsPct set, that share of the read transactions
+// become whole-section scans.
+func buildTxn(p Params, readOnly bool, pick func() DocInfo, pickVal func() int64, pickSection func(DocInfo) string, rng *rand.Rand, uniq int64) []txn.Operation {
 	isUpdateTxn := rng.Intn(100) < p.UpdateTxPct && !readOnly
+	// Analytics draw only for read transactions, and only when the knob is
+	// set — update transactions short-circuit before touching the rng, the
+	// same pattern the isUpdateTxn case below uses.
+	isAnalyticsTxn := p.AnalyticsPct > 0 && !isUpdateTxn && rng.Intn(100) < p.AnalyticsPct
 	ops := make([]txn.Operation, 0, p.OpsPerTx)
 	for i := 0; i < p.OpsPerTx; i++ {
 		doc := pick()
-		section := "people"
-		if len(doc.Sections) > 0 {
-			section = doc.Sections[rng.Intn(len(doc.Sections))]
-		}
+		section := pickSection(doc)
 		switch {
 		case isUpdateTxn && rng.Intn(100) < p.UpdateOpPct:
 			u := xmark.UpdateFor(section, uniq*100+int64(i), rng)
 			ops = append(ops, txn.NewUpdate(doc.Name, u))
+		case isAnalyticsTxn:
+			ops = append(ops, txn.NewQuery(doc.Name, xmark.ScanQueryFor(section)))
 		case p.ValuePredPct > 0 && rng.Intn(100) < p.ValuePredPct:
 			ops = append(ops, txn.NewQuery(doc.Name, xmark.PredicateQueryFor(section, pickVal())))
 		default:
@@ -661,6 +724,9 @@ func (r *Result) String() string {
 	}
 	if r.Params.ValuePredPct > 0 || r.IndexedQueries > 0 {
 		row += fmt.Sprintf(" idxq=%d", r.IndexedQueries)
+	}
+	if r.Params.Protocol == "adaptive" {
+		row += fmt.Sprintf(" switches=%d", r.ProtocolSwitches)
 	}
 	if b := r.Breakdown; b != nil {
 		row += fmt.Sprintf("\n  phase ms (p50/p99): lock-wait=%.2f/%.2f exec=%.2f/%.2f 2pc-decision=%.2f/%.2f 2pc-fanout=%.2f/%.2f quorum-ack=%.2f/%.2f persist=%.2f/%.2f",

@@ -363,13 +363,24 @@ func Quantile(q float64, hists ...*Histogram) float64 {
 	}
 	bounds := hists[0].bounds
 	counts := make([]int64, len(bounds)+1)
-	var total int64
 	for _, h := range hists {
 		for i := range counts {
-			n := h.buckets[i].Load()
-			counts[i] += n
-			total += n
+			counts[i] += h.buckets[i].Load()
 		}
+	}
+	return QuantileOverBuckets(q, bounds, counts)
+}
+
+// QuantileOverBuckets estimates the q-quantile of an explicit non-cumulative
+// bucket-count vector over the given bounds (len(counts) == len(bounds)+1,
+// the last entry being the +Inf overflow) — the windowed-delta companion of
+// Quantile: diff two Histogram.Snapshot calls and pass the difference here to
+// get the quantile of exactly that interval. Returns NaN when the counts sum
+// to zero.
+func QuantileOverBuckets(q float64, bounds []float64, counts []int64) float64 {
+	var total int64
+	for _, n := range counts {
+		total += n
 	}
 	if total == 0 {
 		return math.NaN()

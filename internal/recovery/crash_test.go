@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/lock"
 	"repro/internal/replica"
 	"repro/internal/sched"
 	"repro/internal/store"
@@ -243,6 +244,27 @@ func TestCrashPoints(t *testing.T) {
 				}
 			},
 		},
+		{
+			// The site dies at an adaptive protocol switch's quiescent
+			// point: the domain's lock table is drained and admissions are
+			// blocked, but the new protocol is not yet installed. The
+			// protocol choice is in-memory only, so the switch creates no
+			// recovery obligation — the victim must restart under the
+			// configured default and converge like any other crash.
+			name: "mid-protocol-switch", sites: 3, victim: 1,
+			arm: func(c *cluster, fired chan<- struct{}) {
+				var once sync.Once
+				c.hooks[1].BeforeProtocolSwitch = func(string, string, string) {
+					once.Do(func() { c.sites[1].Kill(); close(fired) })
+				}
+				go func() {
+					// Give the doomed transaction a head start so the
+					// drain has in-flight work to wait out.
+					time.Sleep(5 * time.Millisecond)
+					_ = c.sites[1].SwitchProtocol("d1", lock.DocLock{})
+				}()
+			},
+		},
 	}
 
 	for _, tc := range cases {
@@ -292,6 +314,13 @@ func TestCrashPoints(t *testing.T) {
 					t.Fatalf("site %d diverged after recovery (report: %s)\nsite 0: %s\nsite %d: %s",
 						i, report, want.String(), i, got.String())
 				}
+			}
+
+			// Protocol choice is never persisted: whatever the domain ran
+			// under (or was switching to) at the kill, the restarted site
+			// serves under the configured default.
+			if got := c.sites[tc.victim].DocProtocol("d1"); got != "xdgl" {
+				t.Fatalf("restarted site runs %q, want the configured default xdgl", got)
 			}
 
 			// The restarted site is readmitted: once the survivors'

@@ -1,0 +1,392 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/obs"
+)
+
+// This file is the run-time adaptive concurrency-control engine: a
+// per-document policy loop that samples the observed conflict rate, windowed
+// lock-wait p99 and deadlock rate of each scheduling domain and moves the
+// domain along the protocol granularity ladder
+//
+//	lock.DocLock  (coarsest: one lock per document)
+//	lock.Node2PL  (path locks on document nodes)
+//	lock.XDGL     (finest: hierarchical DataGuide locks)
+//
+// at quiescent points. The ablation benchmarks show no static winner, and the
+// two failure modes pull in opposite directions:
+//
+//   - Congestion without deadlocks (high conflict rate or lock-wait p99,
+//     victims near zero) means transactions queue on a lock that is coarser
+//     than their true footprints — finer granularity disentangles them, so
+//     the policy climbs the ladder.
+//   - Deadlock pressure means fine-grained interleavings are aborting work a
+//     coarser lock would simply serialize (the hot-key case: everyone
+//     touches the same nodes, so finer locks buy no parallelism, only abort
+//     storms) — the policy retreats down the ladder.
+//   - A cold document relaxes toward DocLock, the cheapest bookkeeping.
+//
+// Hysteresis is a consecutive-window confirmation plus a post-switch dwell,
+// and a rung abandoned under deadlock pressure is "burned" for a cooldown so
+// the congestion it leaves behind at the coarser rung cannot immediately
+// climb back into the same abort storm.
+//
+// Switch safety: every lock footprint in a domain is acquired under ONE
+// protocol. SwitchProtocol drains the domain — new admissions of
+// transactions holding nothing there are refused (the coordinator's wait
+// mode retries them), transactions already holding locks run to their
+// strict-2PL release — and swaps docState.proto only once the lock table has
+// zero owners. Mixed protocols ACROSS documents (or across replicas of one
+// document) are safe by construction: each lock manager is an independent
+// strict-2PL scheduler and global serializability comes from 2PC over them,
+// regardless of each manager's granularity.
+
+// AdaptiveConfig configures the per-document adaptive scheduler.
+type AdaptiveConfig struct {
+	// Enabled starts the policy loop on Attach. Config.Protocol is the
+	// protocol every document starts under.
+	Enabled bool
+	// Window is the sampling period: every window the policy reads each
+	// document's counter deltas and decides (default 50ms).
+	Window time.Duration
+	// ConflictHigh and ConflictLow bound the hysteresis band on the conflict
+	// rate, conflicted acquisition attempts / all acquisition attempts of the
+	// window. Above High (with deadlocks quiet) the domain climbs toward
+	// finer granularity; below Low (with no deadlocks) it relaxes toward
+	// coarser (defaults 0.20 / 0.02).
+	ConflictHigh float64
+	ConflictLow  float64
+	// DeadlockHigh is the deadlock-rate retreat threshold: local deadlock
+	// cycles per executed operation in the window (default 0.01). Above it a
+	// domain retreats one rung coarser — fine-grained interleavings are
+	// aborting work a coarser lock would serialize — except at the ladder
+	// bottom, where there is nothing coarser and the pressure climbs instead.
+	DeadlockHigh float64
+	// LockWaitHigh is the windowed lock-wait p99 climb threshold
+	// (default 25ms).
+	LockWaitHigh time.Duration
+	// Consecutive is how many windows a signal must persist before a switch
+	// fires (default 2), and Dwell how many windows a fresh switch pins the
+	// domain before the next one may fire (default 8) — together the
+	// anti-flap hysteresis.
+	Consecutive int
+	Dwell       int
+	// DrainTimeout bounds the quiescent-point drain. A domain that does not
+	// quiesce in time (e.g. a multi-document transaction pattern where the
+	// drain barrier itself feeds a cross-document wait) abandons the switch,
+	// readmits everyone and retries a later window (default 250ms).
+	DrainTimeout time.Duration
+}
+
+func (a AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if a.Window <= 0 {
+		a.Window = 50 * time.Millisecond
+	}
+	if a.ConflictHigh <= 0 {
+		a.ConflictHigh = 0.20
+	}
+	if a.ConflictLow <= 0 {
+		a.ConflictLow = 0.02
+	}
+	if a.DeadlockHigh <= 0 {
+		a.DeadlockHigh = 0.01
+	}
+	if a.LockWaitHigh <= 0 {
+		a.LockWaitHigh = 25 * time.Millisecond
+	}
+	if a.Consecutive <= 0 {
+		a.Consecutive = 2
+	}
+	if a.Dwell <= 0 {
+		a.Dwell = 8
+	}
+	if a.DrainTimeout <= 0 {
+		a.DrainTimeout = 250 * time.Millisecond
+	}
+	return a
+}
+
+// protocolLadder orders the switchable protocols coarse to fine. The policy
+// only ever steps one rung per decision.
+var protocolLadder = []lock.Protocol{lock.DocLock{}, lock.Node2PL{}, lock.XDGL{}}
+
+// ladderIndex places a protocol on the ladder by name; -1 for protocols the
+// policy does not manage (e.g. the xdgl-noguard ablation variant — a domain
+// configured with one simply never moves).
+func ladderIndex(name string) int {
+	for i, p := range protocolLadder {
+		if p.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DocProtocol returns the name of the protocol currently active on the
+// document's scheduling domain, or "" when the site does not hold it.
+func (s *Site) DocProtocol(doc string) string {
+	ds := s.doc(doc)
+	if ds == nil {
+		return ""
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.proto.Name()
+}
+
+// ProtocolSwitches returns the total number of completed protocol switches
+// across the site's documents.
+func (s *Site) ProtocolSwitches() int64 { return s.m.protocolSwitches.Total() }
+
+// errSwitchAbandoned distinguishes an abandoned (timed-out or shut-down)
+// switch from caller errors; the policy loop just retries a later window.
+var errSwitchAbandoned = fmt.Errorf("sched: protocol switch abandoned")
+
+// SwitchProtocol moves one document's scheduling domain to a different lock
+// protocol at a quiescent point: admissions of transactions holding no locks
+// in the domain are refused (parked in the coordinator's wait mode) while
+// transactions already holding locks run to their strict-2PL release; once
+// the lock table has zero owners the protocol is swapped and admissions
+// resume. The refused transactions retry within RetryInterval and acquire
+// under the new protocol. Safe to call directly (tests, operational tooling)
+// whether or not the adaptive policy loop is running.
+func (s *Site) SwitchProtocol(docName string, to lock.Protocol) error {
+	if to == nil {
+		return fmt.Errorf("sched: site %d: SwitchProtocol(%q, nil)", s.id, docName)
+	}
+	ds := s.doc(docName)
+	if ds == nil {
+		return fmt.Errorf("sched: site %d does not hold document %q", s.id, docName)
+	}
+	ds.mu.Lock()
+	if ds.proto.Name() == to.Name() {
+		ds.mu.Unlock()
+		return nil
+	}
+	if ds.draining {
+		ds.mu.Unlock()
+		return fmt.Errorf("sched: site %d: a protocol switch on %q is already in progress", s.id, docName)
+	}
+	from := ds.proto.Name()
+	ds.draining = true
+
+	// Drain: wait for every lock owner to release. Admissions are refused
+	// from here on (processOperation checks draining under this mutex), so
+	// the owner count is monotonically non-increasing except for operations
+	// of transactions that already held locks — which strict 2PL guarantees
+	// will release at their commit or abort. The poll releases the domain
+	// mutex between checks so those releases can happen.
+	timeout := s.cfg.Adaptive.DrainTimeout
+	if timeout <= 0 {
+		timeout = 250 * time.Millisecond
+	}
+	deadline := time.Now().Add(timeout)
+	for ds.table.OwnerCount() > 0 {
+		ds.mu.Unlock()
+		if s.Killed() || s.stopRequested() || time.Now().After(deadline) {
+			// Abandon: clear the barrier so refused transactions readmit on
+			// their next retry. A cross-document workload can wedge a drain
+			// (the barrier parks a transaction another owner waits on through
+			// a different document — a cycle no wait-for graph sees), so the
+			// timeout is the liveness guarantee, not an error to escalate.
+			ds.mu.Lock()
+			ds.draining = false
+			ds.mu.Unlock()
+			return fmt.Errorf("%w: drain of %q on site %d timed out (%s -> %s)",
+				errSwitchAbandoned, docName, s.id, from, to.Name())
+		}
+		time.Sleep(200 * time.Microsecond)
+		ds.mu.Lock()
+	}
+	ds.mu.Unlock()
+
+	// Quiescent point reached: no owners, admissions blocked. The crash hook
+	// fires outside every mutex (like the 2PC-stage hooks) so a chaos test
+	// can kill the site exactly mid-switch; the protocol choice is in-memory
+	// only, so a restarted site simply comes back under its configured
+	// default — no recovery obligation is created here.
+	if hooks := s.cfg.Hooks; hooks != nil && hooks.BeforeProtocolSwitch != nil {
+		hooks.BeforeProtocolSwitch(docName, from, to.Name())
+	}
+	if s.Killed() || s.stopRequested() {
+		ds.mu.Lock()
+		ds.draining = false
+		ds.mu.Unlock()
+		return fmt.Errorf("%w: site %d died mid-switch of %q", errSwitchAbandoned, s.id, docName)
+	}
+
+	ds.mu.Lock()
+	ds.proto = to
+	ds.draining = false
+	ds.mu.Unlock()
+	ds.met.switches.Inc()
+	return nil
+}
+
+// stopRequested reports whether Stop began (the lifecycle channel closed);
+// Kill sets killed as well, so this covers both shutdown paths.
+func (s *Site) stopRequested() bool {
+	select {
+	case <-s.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// docPolicy is the controller's per-document window state: the previous
+// counter/bucket readings the deltas are computed against, the hysteresis
+// streaks, and the burned-rung cooldown.
+type docPolicy struct {
+	ops, conflicts, deadlocks int64
+	waitBuckets               []int64
+	// hotStreak counts consecutive congested-but-deadlock-free windows (climb
+	// signal), retreatStreak consecutive deadlocky windows (retreat signal),
+	// coldStreak consecutive quiet windows (relax signal).
+	hotStreak, retreatStreak, coldStreak int
+	sinceSwitch                          int
+	// burnedRung is the rung last abandoned under deadlock pressure, and
+	// burnCooldown the windows remaining before a climb may re-enter it —
+	// the anti-flap memory: the coarser rung below it will read as congested
+	// (that is why it serializes), which must not immediately climb back
+	// into the same abort storm.
+	burnedRung   int
+	burnCooldown int
+}
+
+// adaptLoop is the per-site policy goroutine, started by Attach when
+// Config.Adaptive.Enabled. One loop serves every document at the site.
+func (s *Site) adaptLoop() {
+	defer s.wg.Done()
+	// The policy reads the per-document lock-wait histograms; arming the
+	// registry is what makes them record (counters are always live).
+	s.m.reg.Arm()
+	state := make(map[string]*docPolicy)
+	ticker := time.NewTicker(s.cfg.Adaptive.Window)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			s.adaptTick(state)
+		}
+	}
+}
+
+// adaptTick runs one policy window over every document: read deltas, update
+// hysteresis streaks, and fire at most one single-rung switch per document.
+func (s *Site) adaptTick(state map[string]*docPolicy) {
+	cfg := s.cfg.Adaptive
+	for _, ds := range s.allDocs() {
+		pol := state[ds.name]
+		if pol == nil {
+			pol = &docPolicy{burnedRung: -1}
+			state[ds.name] = pol
+		}
+
+		ds.mu.Lock()
+		cur := ds.proto.Name()
+		draining := ds.draining
+		ds.mu.Unlock()
+		rung := ladderIndex(cur)
+		if rung < 0 || draining {
+			continue // unmanaged protocol, or a switch already in flight
+		}
+
+		ops := ds.met.ops.Value()
+		conflicts := ds.met.conflicts.Value()
+		deadlocks := ds.met.deadlocks.Value()
+		waits := ds.met.lockWait.Snapshot()
+		opsD := ops - pol.ops
+		confD := conflicts - pol.conflicts
+		deadD := deadlocks - pol.deadlocks
+		waitD := bucketDelta(waits, pol.waitBuckets)
+		pol.ops, pol.conflicts, pol.deadlocks, pol.waitBuckets = ops, conflicts, deadlocks, waits
+		pol.sinceSwitch++
+		if pol.burnCooldown > 0 {
+			pol.burnCooldown--
+		}
+
+		if opsD == 0 && confD == 0 {
+			// Idle window: no evidence either way. Streaks decay so stale
+			// pressure from before an idle period cannot trigger a switch.
+			pol.hotStreak, pol.retreatStreak, pol.coldStreak = 0, 0, 0
+			continue
+		}
+
+		attempts := opsD + confD
+		conflictRate := float64(confD) / float64(attempts)
+		deadlockRate := float64(deadD) / math.Max(1, float64(opsD))
+		waitP99 := obs.QuantileOverBuckets(0.99, ds.met.lockWait.Bounds(), waitD)
+		deadlocky := deadlockRate > cfg.DeadlockHigh
+		congested := conflictRate > cfg.ConflictHigh ||
+			(!math.IsNaN(waitP99) && waitP99 > cfg.LockWaitHigh.Seconds())
+		// Deadlock pressure retreats coarser — except at the ladder bottom,
+		// where nothing coarser exists and finer granularity is the only
+		// lever left (doclock deadlocks are cross-document cycles a smaller
+		// footprint can break).
+		retreat := deadlocky && rung > 0
+		hot := (congested && !deadlocky) || (deadlocky && rung == 0)
+		cold := conflictRate < cfg.ConflictLow && deadD == 0
+
+		switch {
+		case retreat:
+			pol.retreatStreak++
+			pol.hotStreak, pol.coldStreak = 0, 0
+		case hot:
+			pol.hotStreak++
+			pol.retreatStreak, pol.coldStreak = 0, 0
+		case cold:
+			pol.coldStreak++
+			pol.hotStreak, pol.retreatStreak = 0, 0
+		default:
+			pol.hotStreak, pol.retreatStreak, pol.coldStreak = 0, 0, 0
+		}
+
+		if pol.sinceSwitch < cfg.Dwell {
+			continue
+		}
+		var target int
+		burned := false
+		switch {
+		case pol.retreatStreak >= cfg.Consecutive && rung > 0:
+			target, burned = rung-1, true
+		case pol.hotStreak >= cfg.Consecutive && rung < len(protocolLadder)-1:
+			target = rung + 1
+			if target == pol.burnedRung && pol.burnCooldown > 0 {
+				continue // that rung just caused an abort storm; wait it out
+			}
+		case pol.coldStreak >= cfg.Consecutive && rung > 0:
+			target = rung - 1
+		default:
+			continue
+		}
+		if err := s.SwitchProtocol(ds.name, protocolLadder[target]); err != nil {
+			continue // abandoned drains retry on a later window
+		}
+		if burned {
+			pol.burnedRung, pol.burnCooldown = rung, 4*cfg.Dwell
+		}
+		pol.hotStreak, pol.retreatStreak, pol.coldStreak, pol.sinceSwitch = 0, 0, 0, 0
+	}
+}
+
+// bucketDelta subtracts a previous bucket snapshot from the current one. A
+// nil or mismatched previous snapshot (first window) yields the current
+// counts unchanged.
+func bucketDelta(cur, prev []int64) []int64 {
+	out := make([]int64, len(cur))
+	copy(out, cur)
+	if len(prev) == len(cur) {
+		for i := range out {
+			out[i] -= prev[i]
+		}
+	}
+	return out
+}

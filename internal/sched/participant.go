@@ -107,7 +107,18 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 
-	// Translate the operation into lock requests under the configured
+	// A protocol switch is draining this domain: transactions holding no
+	// locks here yet are refused admission — acquired:false with no
+	// conflicts parks them in the coordinator's wait mode, and the retry
+	// interval readmits them under the new protocol once the swap lands.
+	// Transactions already holding locks pass, so the drain's quiescence
+	// condition (zero lock owners) is reachable: strict 2PL releases their
+	// footprint at commit or abort.
+	if ds.draining && !ds.table.Held(id) {
+		return localResult{acquired: false}
+	}
+
+	// Translate the operation into lock requests under the domain's active
 	// protocol. Queries go through the site's parse cache; update targets
 	// are pre-parsed on the Update itself.
 	var reqs []lock.Request
@@ -117,10 +128,10 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 	case txn.OpQuery:
 		q, err = s.queries.Get(op.Query)
 		if err == nil {
-			reqs, err = s.cfg.Protocol.QueryRequests(ds.doc, ds.guide, q)
+			reqs, err = ds.proto.QueryRequests(ds.doc, ds.guide, q)
 		}
 	case txn.OpUpdate:
-		reqs, err = s.cfg.Protocol.UpdateRequests(ds.doc, ds.guide, op.Update)
+		reqs, err = ds.proto.UpdateRequests(ds.doc, ds.guide, op.Update)
 	default:
 		err = fmt.Errorf("unknown operation kind %d", op.Kind)
 	}
@@ -151,6 +162,7 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 		deadlock := ds.graph.CycleThrough(id) != nil
 		if deadlock {
 			s.m.localDeadlocks.Inc()
+			ds.met.deadlocks.Inc()
 		}
 		return localResult{acquired: false, deadlock: deadlock, conflicts: conflicts}
 	}
@@ -162,7 +174,7 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 		grants := make([]GrantInfo, 0, len(reqs))
 		for _, r := range reqs {
 			if r.Node != nil || r.DocNode != nil {
-				grants = append(grants, GrantInfo{Path: r.Path(), Mode: r.Mode})
+				grants = append(grants, GrantInfo{Path: r.Path(), Mode: r.Mode, Guard: r.Guard})
 			}
 		}
 		// Under ds.mu, so the hook's sequence numbers order conflicting
@@ -217,6 +229,7 @@ func (s *Site) processOperation(id txn.ID, ts txn.TS, coordinator, opIdx int, op
 	}
 	if out.executed {
 		s.m.opsExecuted.Inc()
+		ds.met.ops.Inc()
 	}
 	return out
 }

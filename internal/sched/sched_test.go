@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -39,8 +40,20 @@ func personSpec(id, name string) *xupdate.NodeSpec {
 	}}
 }
 
-// newCluster builds n in-process sites sharing a catalog and network.
+// newCluster builds n in-process sites sharing a catalog and network. The
+// protocol comes from DTX_PROTOCOL when set — the nightly protocol-matrix CI
+// job runs the whole suite once per protocol that way — and is the scheduler
+// default (xdgl) otherwise.
 func newCluster(t *testing.T, n int, mutate func(*Config)) ([]*Site, *transport.Network) {
+	t.Helper()
+	return newClusterWithProtocol(t, n, os.Getenv("DTX_PROTOCOL"), mutate)
+}
+
+// newClusterWithProtocol pins the cluster to a named protocol, so
+// cross-protocol tests take the protocol as a table parameter instead of
+// hardcoding one in the mutate closure. "" keeps the default; "adaptive"
+// starts from the default and enables the run-time adaptive policy.
+func newClusterWithProtocol(t *testing.T, n int, protocol string, mutate func(*Config)) ([]*Site, *transport.Network) {
 	t.Helper()
 	net := transport.NewNetwork()
 	catalog := replica.NewCatalog()
@@ -55,6 +68,17 @@ func newCluster(t *testing.T, n int, mutate func(*Config)) ([]*Site, *transport.
 			Sites:         ids,
 			Catalog:       catalog,
 			RetryInterval: 5 * time.Millisecond,
+		}
+		switch protocol {
+		case "":
+		case "adaptive":
+			cfg.Adaptive = AdaptiveConfig{Enabled: true}
+		default:
+			p, err := lock.ByName(protocol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Protocol = p
 		}
 		if mutate != nil {
 			mutate(&cfg)
@@ -485,22 +509,29 @@ func TestLivenessUnderContention(t *testing.T) {
 	}
 }
 
-func TestProtocolSwapNode2PL(t *testing.T) {
-	sites, _ := newCluster(t, 1, func(c *Config) { c.Protocol = lock.Node2PL{} })
-	s := sites[0]
-	addDoc(t, s, "d2", productsXML)
-	res, err := s.Submit([]txn.Operation{
-		txn.NewQuery("d2", "//product/price"),
-		txn.NewUpdate("d2", &xupdate.Update{Kind: xupdate.Change, Target: "//product[id='4']/price", Value: "1.00"}),
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.State != txn.Committed {
-		t.Fatalf("state = %v (%s)", res.State, res.Reason)
-	}
-	if s.Protocol().Name() != "node2pl" {
-		t.Fatal("protocol not swapped")
+// TestProtocolSwap runs the same read/write transaction under every static
+// protocol on the granularity ladder, taking the protocol as a table
+// parameter rather than hardcoding one configuration.
+func TestProtocolSwap(t *testing.T) {
+	for _, proto := range []string{"xdgl", "node2pl", "doclock"} {
+		t.Run(proto, func(t *testing.T) {
+			sites, _ := newClusterWithProtocol(t, 1, proto, nil)
+			s := sites[0]
+			addDoc(t, s, "d2", productsXML)
+			res, err := s.Submit([]txn.Operation{
+				txn.NewQuery("d2", "//product/price"),
+				txn.NewUpdate("d2", &xupdate.Update{Kind: xupdate.Change, Target: "//product[id='4']/price", Value: "1.00"}),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.State != txn.Committed {
+				t.Fatalf("state = %v (%s)", res.State, res.Reason)
+			}
+			if s.Protocol().Name() != proto {
+				t.Fatalf("configured protocol = %s, want %s", s.Protocol().Name(), proto)
+			}
+		})
 	}
 }
 

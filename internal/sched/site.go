@@ -58,8 +58,17 @@ type Config struct {
 	SiteID int
 	// Sites lists every site in the system, for deadlock detection sweeps.
 	Sites []int
-	// Protocol is the concurrency-control protocol (default XDGL).
+	// Protocol is the concurrency-control protocol (default XDGL). With the
+	// adaptive scheduler enabled it is the protocol every document STARTS
+	// under; each document may then move along the granularity ladder at
+	// run time (adapt.go).
 	Protocol lock.Protocol
+	// Adaptive configures run-time adaptive concurrency control: when
+	// Enabled, a per-site policy loop samples each document's conflict rate,
+	// windowed lock-wait p99 and deadlock rate every Window and switches the
+	// document between DocLock, Node2PL and XDGL at quiescent points, with
+	// hysteresis (see AdaptiveConfig).
+	Adaptive AdaptiveConfig
 	// Catalog maps documents to the sites holding replicas.
 	Catalog *replica.Catalog
 	// Store is the persistence backend (default in-memory).
@@ -212,12 +221,24 @@ type CrashHooks struct {
 	// replication-lag injection point (a sleeping hook makes a follower that
 	// knows it lags, which is what the bounded-staleness refusal keys on).
 	BeforeReplApply func(doc string, from int)
+	// BeforeProtocolSwitch fires at the quiescent point of an online
+	// protocol switch: the domain's lock table has drained to zero owners
+	// and admissions are blocked, immediately before the protocol is
+	// swapped — the "mid-switch" crash point. The active protocol is never
+	// persisted, so a site killed here restarts under its configured
+	// default.
+	BeforeProtocolSwitch func(doc, from, to string)
 }
 
-// GrantInfo describes one granted lock for history recording.
+// GrantInfo describes one granted lock for history recording. Guard carries
+// the predicate annotation of XDGL locks: the table lets checker-visibly
+// incompatible modes coexist on one DataGuide path when their guards are
+// provably disjoint, so any consumer reasoning about conflicts must apply
+// the same Disjoint test the table does.
 type GrantInfo struct {
-	Path string
-	Mode lock.Mode
+	Path  string
+	Mode  lock.Mode
+	Guard *lock.Guard
 }
 
 // HistoryHook observes committed-history-relevant events. Implementations
@@ -237,6 +258,9 @@ type HistoryHook interface {
 func (c Config) withDefaults() Config {
 	if c.Protocol == nil {
 		c.Protocol = lock.XDGL{}
+	}
+	if c.Adaptive.Enabled {
+		c.Adaptive = c.Adaptive.withDefaults()
 	}
 	if c.Catalog == nil {
 		c.Catalog = replica.NewCatalog()
@@ -292,6 +316,7 @@ type Stats struct {
 	ReplStaleRefusals  int64 // snapshot reads refused for exceeding the staleness bound
 	ReplCatchupRecords int64 // replication records applied during recovery catch-up
 	IndexedQueries     int64 // queries answered from a value index instead of an extent scan
+	ProtocolSwitches   int64 // completed online protocol switches (adapt.go)
 }
 
 // docState bundles the in-memory representation of one document at a site:
@@ -314,6 +339,15 @@ type docState struct {
 	table *lock.Table
 	graph *wfg.Graph
 	dirty map[txn.ID]bool // transactions with unpersisted changes
+
+	// proto is the lock protocol currently active on this domain, seeded
+	// from Config.Protocol and swapped at quiescent points by SwitchProtocol
+	// (adapt.go). draining blocks new admissions while a switch waits for
+	// the lock table to empty: processOperation refuses transactions that
+	// hold nothing here yet (the coordinator's wait mode retries them) and
+	// admits the rest so the drain can complete. Both guarded by mu.
+	proto    lock.Protocol
+	draining bool
 
 	// met caches this document's child metric handles (resolved once here,
 	// so the hot paths never do a labelled-vec map lookup).
@@ -857,7 +891,9 @@ func (s *Site) markFinishedLocked(id txn.ID, committed bool) {
 // ID returns the site identifier.
 func (s *Site) ID() int { return s.id }
 
-// Protocol returns the concurrency-control protocol in use.
+// Protocol returns the configured concurrency-control protocol — the one
+// every document starts under. With the adaptive scheduler enabled, a
+// document's currently ACTIVE protocol may differ; DocProtocol reports it.
 func (s *Site) Protocol() lock.Protocol { return s.cfg.Protocol }
 
 // Catalog returns the replica catalog the site routes with.
@@ -879,6 +915,10 @@ func (s *Site) Attach(join func(transport.Handler) (transport.Node, error)) erro
 	if s.cfg.HeartbeatInterval > 0 {
 		s.wg.Add(1)
 		go s.heartbeatLoop()
+	}
+	if s.cfg.Adaptive.Enabled {
+		s.wg.Add(1)
+		go s.adaptLoop()
 	}
 	return nil
 }
@@ -992,6 +1032,7 @@ func (s *Site) Stats() Stats {
 		ReplStaleRefusals:  m.staleRefusals.Value(),
 		ReplCatchupRecords: m.catchupRecords.Value(),
 		IndexedQueries:     m.indexedQueries.Value(),
+		ProtocolSwitches:   m.protocolSwitches.Total(),
 	}
 }
 
@@ -1023,6 +1064,7 @@ func (s *Site) newDocState(doc *xmltree.Document, g *dataguide.DataGuide) *docSt
 		table:    lock.NewTable(g),
 		graph:    wfg.New(),
 		dirty:    make(map[txn.ID]bool),
+		proto:    s.cfg.Protocol,
 		versions: ch,
 		met:      s.m.docMetrics(doc.Name),
 	}
@@ -1382,6 +1424,7 @@ func (s *Site) siteStatus() transport.SiteStatusResp {
 		ds.mu.Lock()
 		d.Applied = ds.replApplied
 		d.Head = ds.knownHead
+		d.Protocol = ds.proto.Name()
 		ds.mu.Unlock()
 		if d.Applied > d.Head {
 			// The primary's own applied position IS the head.

@@ -54,9 +54,20 @@ func TestPartialAcquireUndoneEverywhere(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	doc0, _ := s0.Document("d1")
-	if len(doc0.Root.Children) != 2 {
-		t.Fatalf("partial insert visible at site 0: %d persons", len(doc0.Root.Children))
+	// The conflict is counted at site 1's lock table before the coordinator
+	// undoes the partial execution at site 0 (and each wait-mode retry
+	// re-executes and re-undoes), so poll for the undone state rather than
+	// sampling the execute/undo window.
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		doc0, _ := s0.Document("d1")
+		if len(doc0.Root.Children) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("partial insert still visible at site 0: %d persons", len(doc0.Root.Children))
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 
 	// Release the blocker; the insert must now complete at both sites.

@@ -180,14 +180,18 @@ type InDoubtTxn struct {
 // DocStatus is one document's replication view at a site: its role there
 // (primary or replica), the last replication-log record it applied, the
 // newest record it knows the primary holds, and the gap between the two.
-// Outside quorum mode Applied/Head/Behind stay zero.
+// Outside quorum mode Applied/Head/Behind stay zero. Protocol names the lock
+// protocol currently active on the document's scheduling domain — under
+// adaptive concurrency control it can differ per document and change over a
+// run.
 type DocStatus struct {
-	Name    string
-	Primary int
-	Role    string // "primary" | "replica"
-	Applied int64
-	Head    int64
-	Behind  int64
+	Name     string
+	Primary  int
+	Role     string // "primary" | "replica"
+	Applied  int64
+	Head     int64
+	Behind   int64
+	Protocol string
 }
 
 // SiteStatusResp reports a site's documents, liveness view, journal

@@ -80,6 +80,30 @@ func QueryFor(section string, rng *rand.Rand) string {
 	return qs[rng.Intn(len(qs))]
 }
 
+// ScanQueryFor returns the broadest read for a section: a whole-class
+// descendant scan that touches every element of the section. These are the
+// "analytics" operations of a mixed OLTP/analytics workload — under
+// fine-grained protocols they acquire wide intention/read lock sets and
+// collide with every writer in the section, which is exactly the pressure
+// signal the adaptive policy watches for.
+func ScanQueryFor(section string) string {
+	if region, ok := strings.CutPrefix(section, "regions/"); ok {
+		return "//" + region + "/item"
+	}
+	switch section {
+	case "people":
+		return "//person"
+	case "open_auctions":
+		return "//open_auction"
+	case "closed_auctions":
+		return "//closed_auction"
+	case "categories":
+		return "//category"
+	default:
+		return "/site"
+	}
+}
+
 // PredicateQueryRange is the id domain PredicateQueryFor draws from. Ids in
 // generated documents are dense from zero per section, so small documents
 // make some lookups miss — a realistic point-query mix either way.
